@@ -1,0 +1,89 @@
+// Ablation of the migration-policy design choices called out in
+// DESIGN.md §6 — not a paper exhibit, but the evidence behind the
+// implementation decisions:
+//
+//   none        — FedAvg-with-period (aggregation only, no migration)
+//   randonly    — uniform random permutation (no intelligence)
+//   maxemd      — deterministic max-divergence matching (expected to
+//                 collapse: the stochasticity ablation)
+//   fedmigr-flmm— convex planner with load balancing + comm penalty
+//   fedmigr r=0 — pure DRL policy
+//   fedmigr r=.4— DRL with ρ-greedy FLMM mixing
+//
+// Expected: maxemd far below random (determinism pathology); flmm and the
+// DRL variants at or above random.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace fedmigr;
+
+  bench::BenchRunOptions run;
+  run.max_epochs = 120;
+  run.eval_every = 30;
+
+  const struct {
+    const char* label;
+    core::PartitionKind partition;
+  } partitions[] = {
+      {"LAN-correlated skew (lanshard)", core::PartitionKind::kLanShard},
+      {"one class per client (shard)", core::PartitionKind::kShard},
+  };
+
+  for (const auto& pcase : partitions) {
+    bench::BenchWorkloadOptions workload_options;
+    workload_options.partition = pcase.partition;
+    const core::Workload workload =
+        bench::MakeBenchWorkload(workload_options);
+
+    std::printf("Policy ablation — %s, %d epochs\n\n", pcase.label,
+                run.max_epochs);
+    util::TableWriter table(
+        {"policy", "final acc (%)", "C2C traffic (MB)", "migrations"});
+
+    auto report = [&](const std::string& label,
+                      const fl::RunResult& result) {
+      int migrations = 0;
+      for (const auto& record : result.history) {
+        migrations += record.migrations;
+      }
+      table.AddRow();
+      table.AddCell(label);
+      table.AddCell(100.0 * result.final_accuracy, 1);
+      table.AddCell(result.c2c_gb * 1000.0, 1);
+      table.AddCell(migrations);
+    };
+
+    // Aggregation-only reference at the same period.
+    {
+      fl::SchemeSetup setup =
+          bench::MakeBenchScheme("fedprox", workload, run);
+      setup.config.scheme_name = "agg-only";
+      setup.config.fedprox_mu = 0.0;
+      setup.config.agg_period = run.agg_period;
+      report("none (agg only)", core::RunScheme(workload, std::move(setup)));
+    }
+    report("random", bench::RunBench(workload, "randonly", run));
+    report("max-emd (determ.)", bench::RunBench(workload, "maxemd", run));
+    report("flmm planner", bench::RunBench(workload, "fedmigr-flmm", run));
+    {
+      fl::SchemeSetup setup =
+          bench::MakeBenchScheme("fedmigr", workload, run);
+      report("drl (rho=0.2)", core::RunScheme(workload, std::move(setup)));
+    }
+
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: under tie-heavy gains (shard) the deterministic max-EMD "
+      "matching collapses while stochastic gain-aware policies (flmm, drl) "
+      "stay at or above random; under LAN-correlated skew all migration "
+      "policies clearly beat aggregation-only, with cost-aware ones on "
+      "top.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 10 — Test accuracy of the five schemes under different non-IID
+// levels: the testbed's p%-dominance skew for CIFAR-10 and class-lack skew
+// for CIFAR-100.
+//
+// Paper: accuracy degrades with the non-IID level for every scheme, and
+// the migration schemes degrade the least (FedMigr best, then RandMigr).
+// Here: the same two partitions on the synthetic analogues.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace fedmigr;
+
+  const char* schemes[] = {"fedmigr", "randmigr", "fedswap", "fedprox",
+                           "fedavg"};
+
+  std::printf(
+      "Fig. 10 reproduction (left): C10 accuracy (%%) vs dominance level "
+      "p\n\n");
+  {
+    util::TableWriter table({"Scheme", "p=0.1 (IID)", "p=0.6", "p=0.8"});
+    const double levels[] = {0.1, 0.6, 0.8};
+    // One workload per level, shared across schemes.
+    std::vector<core::Workload> workloads;
+    for (double p : levels) {
+      bench::BenchWorkloadOptions workload_options;
+      workload_options.partition = core::PartitionKind::kDominance;
+      workload_options.partition_param = p;
+      workloads.push_back(bench::MakeBenchWorkload(workload_options));
+    }
+    bench::BenchRunOptions run;
+    run.max_epochs = 120;
+    run.eval_every = 40;
+    for (const char* scheme : schemes) {
+      table.AddRow();
+      table.AddCell(scheme);
+      for (const auto& workload : workloads) {
+        table.AddCell(
+            100.0 * bench::RunBench(workload, scheme, run).final_accuracy,
+            1);
+      }
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf(
+      "\nFig. 10 reproduction (right): C100 accuracy (%%) vs lacked "
+      "classes\n\n");
+  {
+    util::TableWriter table({"Scheme", "lack=0 (IID)", "lack=80"});
+    const int levels[] = {0, 80};
+    std::vector<core::Workload> workloads;
+    for (int lack : levels) {
+      bench::BenchWorkloadOptions workload_options;
+      workload_options.dataset = "c100";
+      workload_options.num_clients = 20;
+      workload_options.num_lans = 5;
+      workload_options.train_per_class = 8;
+      workload_options.signal = 1.0;
+      workload_options.partition = core::PartitionKind::kClassLack;
+      workload_options.partition_param = lack;
+      workloads.push_back(bench::MakeBenchWorkload(workload_options));
+    }
+    bench::BenchRunOptions run;
+    run.agg_period = 3;  // tighter sync horizon for the 100-way task
+    run.max_epochs = 150;
+    run.eval_every = 75;
+    for (const char* scheme : schemes) {
+      table.AddRow();
+      table.AddCell(scheme);
+      for (const auto& workload : workloads) {
+        table.AddCell(
+            100.0 * bench::RunBench(workload, scheme, run).final_accuracy,
+            1);
+      }
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf(
+      "\npaper shape: accuracy falls as the non-IID level rises; FedMigr "
+      "and RandMigr degrade least.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 11 — Bandwidth consumption and completion time vs non-IID level.
+//
+// Paper (CNN/CIFAR-10, training to a fixed requirement): both costs grow
+// with the non-IID level for every scheme, but FedMigr's costs grow the
+// slowest — at level 0.6 it needs ~40-60% less time than the baselines.
+// Here: dominance levels p on the C10 analogue, costs measured at a fixed
+// target accuracy (epoch-capped).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace fedmigr;
+
+  const char* schemes[] = {"fedmigr", "randmigr", "fedswap", "fedprox",
+                           "fedavg"};
+  const double levels[] = {0.2, 0.6};
+
+  std::vector<core::Workload> workloads;
+  for (double p : levels) {
+    bench::BenchWorkloadOptions workload_options;
+    workload_options.partition = core::PartitionKind::kDominance;
+    workload_options.partition_param = p;
+    workloads.push_back(bench::MakeBenchWorkload(workload_options));
+  }
+
+  bench::BenchRunOptions run;
+  run.max_epochs = 180;
+  run.eval_every = 10;
+  run.target_accuracy = 0.5;
+
+  std::printf(
+      "Fig. 11 reproduction: traffic (MB) and simulated time (s) to reach "
+      "%.0f%% accuracy vs non-IID level ('>' = hit epoch cap)\n\n",
+      100 * run.target_accuracy);
+  util::TableWriter table({"Scheme", "p=0.2 traffic", "p=0.2 time",
+                           "p=0.6 traffic", "p=0.6 time"});
+  for (const char* scheme : schemes) {
+    table.AddRow();
+    table.AddCell(scheme);
+    for (const auto& workload : workloads) {
+      const fl::RunResult result = bench::RunBench(workload, scheme, run);
+      const bool hit = result.reached_target;
+      const double traffic_mb =
+          (hit ? result.traffic_to_target_gb : result.traffic_gb) * 1000.0;
+      const double time_s = hit ? result.time_to_target_s : result.time_s;
+      const std::string prefix = hit ? "" : ">";
+      table.AddCell(prefix + util::FormatDouble(traffic_mb, 1));
+      table.AddCell(prefix + util::FormatDouble(time_s, 0));
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper shape: costs grow with the non-IID level for all schemes; "
+      "FedMigr grows slowest and is cheapest at every level.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 3 — Test accuracy of model training with FedMigr under three fixed
+// migration strategies: cross-LAN, random, within-LAN.
+//
+// Paper setting: AlexNet/CIFAR-10, clients within a LAN share their data
+// distribution, 600 epochs. Here: C10 analogue, LAN-shard partition, 150
+// epochs, averaged over 3 seeds. Expected shape: migration toward foreign
+// data (cross-LAN, and random — which in a 3-LAN topology is already ~70%
+// cross-LAN) clearly beats within-LAN migration; the paper's additional
+// cross-vs-random margin is inside seed noise at this scale.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace fedmigr;
+
+  const char* strategies[] = {"crosslan", "randonly", "withinlan"};
+  const uint64_t seeds[] = {5, 6, 7};
+  constexpr int kEpochs = 150;
+  constexpr int kEvalEvery = 25;
+
+  // accuracy_sum[strategy][checkpoint], accumulated over seeds.
+  std::map<std::string, std::vector<double>> accuracy_sum;
+  for (const char* strategy : strategies) {
+    accuracy_sum[strategy].assign(kEpochs / kEvalEvery, 0.0);
+  }
+
+  for (uint64_t seed : seeds) {
+    bench::BenchWorkloadOptions workload_options;
+    workload_options.partition = core::PartitionKind::kLanShard;
+    workload_options.seed = seed;
+    const core::Workload workload =
+        bench::MakeBenchWorkload(workload_options);
+    bench::BenchRunOptions run;
+    run.max_epochs = kEpochs;
+    run.eval_every = kEvalEvery;
+    run.seed = seed;
+    for (const char* strategy : strategies) {
+      const fl::RunResult result = bench::RunBench(workload, strategy, run);
+      auto& sums = accuracy_sum[strategy];
+      for (size_t c = 0; c < sums.size(); ++c) {
+        const size_t epoch_index = (c + 1) * kEvalEvery - 1;
+        sums[c] += result.history[epoch_index].test_accuracy;
+      }
+    }
+  }
+
+  const double num_seeds = static_cast<double>(std::size(seeds));
+  std::printf(
+      "Fig. 3 reproduction: accuracy vs epochs for three migration "
+      "strategies\n(C10 analogue, LAN-correlated non-IID, agg every 5 "
+      "epochs, mean of %d seeds)\n\n",
+      static_cast<int>(num_seeds));
+  util::TableWriter table({"epoch", "cross-LAN acc (%)", "random acc (%)",
+                           "within-LAN acc (%)"});
+  for (size_t c = 0; c < accuracy_sum["crosslan"].size(); ++c) {
+    table.AddRow();
+    table.AddCell(static_cast<int>((c + 1) * kEvalEvery));
+    for (const char* strategy : strategies) {
+      table.AddCell(100.0 * accuracy_sum[strategy][c] / num_seeds, 1);
+    }
+  }
+  table.Print(std::cout);
+
+  const double cross = accuracy_sum["crosslan"].back() / num_seeds;
+  const double random = accuracy_sum["randonly"].back() / num_seeds;
+  const double within = accuracy_sum["withinlan"].back() / num_seeds;
+  std::printf(
+      "\nfinal (mean): cross-LAN %.1f%% vs random %.1f%% vs within-LAN "
+      "%.1f%%\npaper (600 ep): 63.6%% vs 60.7%% vs 56.2%% — decisive "
+      "contrast: foreign-data migration (cross-LAN/random) beats "
+      "within-LAN.\n",
+      100 * cross, 100 * random, 100 * within);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 4 — Training performance of FedMigr under (ε, δ)-LDP budgets.
+//
+// Paper: CNN/CIFAR-10 with ε ∈ {∞, 150, 100}; accuracy degrades slightly as
+// the budget tightens (72.4% / 69.2% / 67.6% at 200 epochs). Here: C10
+// analogue; the expected shape is a modest, monotone degradation.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace fedmigr;
+
+  bench::BenchWorkloadOptions workload_options;
+  const core::Workload workload = bench::MakeBenchWorkload(workload_options);
+
+  struct Budget {
+    const char* label;
+    double epsilon;  // <= 0 encodes infinity
+  };
+  const Budget budgets[] = {
+      {"eps=inf", 0.0}, {"eps=150", 150.0}, {"eps=100", 100.0}};
+
+  bench::BenchRunOptions run;
+  run.max_epochs = 120;
+  run.eval_every = 30;
+
+  std::printf(
+      "Fig. 4 reproduction: FedMigr accuracy under LDP budgets "
+      "(C10 analogue)\n\n");
+  util::TableWriter table(
+      {"privacy budget", "acc @30 (%)", "acc @60 (%)", "acc @90 (%)",
+       "acc @120 (%)"});
+  std::vector<double> finals;
+  for (const Budget& budget : budgets) {
+    bench::BenchRunOptions with_dp = run;
+    with_dp.dp.epsilon = budget.epsilon;
+    with_dp.dp.clip_norm = 80.0;
+    const fl::RunResult result =
+        bench::RunBench(workload, "fedmigr", with_dp);
+    table.AddRow();
+    table.AddCell(budget.label);
+    for (int epoch = 30; epoch <= 120; epoch += 30) {
+      table.AddCell(
+          100.0 *
+              result.history[static_cast<size_t>(epoch - 1)].test_accuracy,
+          1);
+    }
+    finals.push_back(result.final_accuracy);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper @200 epochs: eps=inf 72.4%%, eps=150 69.2%%, eps=100 67.6%% "
+      "— expected: mild monotone degradation\nmeasured finals: %.1f%% / "
+      "%.1f%% / %.1f%%\n",
+      100 * finals[0], 100 * finals[1], 100 * finals[2]);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 6 — Scalability of decision making: time to produce one migration
+// policy by (a) solving the relaxed convex program ("S-COP", projected-
+// gradient QP + Hungarian rounding) vs (b) DRL actor inference, as the
+// number of clients grows from 10 to 100.
+//
+// Paper: DRL inference time grows much more slowly than S-COP. This bench
+// uses google-benchmark for the timing and prints both series.
+
+#include <benchmark/benchmark.h>
+
+#include "net/topology.h"
+#include "opt/flmm.h"
+#include "rl/agent.h"
+#include "rl/state.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fedmigr;
+
+// Random divergence matrix + topology of the given size.
+struct Problem {
+  explicit Problem(int k)
+      : topology(net::TopologyConfig{
+            .lan_of = net::EvenLanAssignment(k, std::max(1, k / 4))}),
+        gain(static_cast<size_t>(k),
+             std::vector<double>(static_cast<size_t>(k), 0.0)) {
+    util::Rng rng(static_cast<uint64_t>(k));
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) {
+        if (i != j) {
+          gain[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+              rng.Uniform(0.0, 2.0);
+        }
+      }
+    }
+  }
+  net::Topology topology;
+  std::vector<std::vector<double>> gain;
+};
+
+void BM_SCOP(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Problem problem(k);
+  for (auto _ : state) {
+    const opt::FlmmPlan plan =
+        opt::SolveFlmm(problem.gain, problem.topology, 100000, {});
+    benchmark::DoNotOptimize(plan.destination.data());
+  }
+}
+BENCHMARK(BM_SCOP)->Arg(10)->Arg(20)->Arg(40)->Arg(60)->Arg(80)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DrlInference(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Problem problem(k);
+  rl::DdpgAgent agent(rl::AgentConfig{});
+  util::Rng rng(7);
+
+  fl::PolicyContext ctx;
+  ctx.topology = &problem.topology;
+  ctx.model_bytes = 100000;
+  ctx.client_distributions = &problem.gain;  // only sizes matter here
+  ctx.model_distributions = &problem.gain;
+  ctx.budget = nullptr;
+  net::Budget budget;
+  ctx.budget = &budget;
+
+  for (auto _ : state) {
+    // One full policy round: score all K sources' candidate rows and pick.
+    std::vector<bool> mask(static_cast<size_t>(k), true);
+    int total = 0;
+    for (int src = 0; src < k; ++src) {
+      const auto rows = rl::CandidateRows(ctx, problem.gain, src);
+      total += agent.SelectAction(rows, mask, /*explore=*/false, &rng);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_DrlInference)
+    ->Arg(10)->Arg(20)->Arg(40)->Arg(60)->Arg(80)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

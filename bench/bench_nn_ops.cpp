@@ -1,0 +1,99 @@
+// Supporting microbenchmarks for the NN substrate: the kernels whose cost
+// dominates simulated training (matmul, conv2d forward/backward) plus model
+// (de)serialization, which bounds how fast migrations can be simulated.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/ops.h"
+#include "nn/serialize.h"
+#include "nn/zoo.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fedmigr;
+
+nn::Tensor RandomTensor(nn::Shape shape, uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Normal());
+  }
+  return t;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const nn::Tensor a = RandomTensor({n, n}, 1);
+  const nn::Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    nn::Tensor c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const nn::Tensor input = RandomTensor({batch, 3, 8, 8}, 3);
+  const nn::Tensor kernel = RandomTensor({8, 3, 5, 5}, 4);
+  const nn::Tensor bias = RandomTensor({8}, 5);
+  for (auto _ : state) {
+    nn::Tensor out = nn::Conv2dForward(input, kernel, bias, 2);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const nn::Tensor input = RandomTensor({batch, 3, 8, 8}, 6);
+  const nn::Tensor kernel = RandomTensor({8, 3, 5, 5}, 7);
+  const nn::Tensor bias = RandomTensor({8}, 8);
+  const nn::Tensor grad = nn::Conv2dForward(input, kernel, bias, 2);
+  for (auto _ : state) {
+    nn::Tensor grad_input, grad_kernel, grad_bias;
+    nn::Conv2dBackward(input, kernel, 2, grad, &grad_input, &grad_kernel,
+                       &grad_bias);
+    benchmark::DoNotOptimize(grad_input.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_C10NetForward(benchmark::State& state) {
+  util::Rng rng(9);
+  nn::Sequential model = nn::MakeC10Net(&rng);
+  const nn::Tensor batch = RandomTensor({16, 3, 8, 8}, 10);
+  for (auto _ : state) {
+    nn::Tensor out = model.Forward(batch, /*training=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_C10NetForward);
+
+void BM_SerializeModel(benchmark::State& state) {
+  util::Rng rng(11);
+  const nn::Sequential model = nn::MakeResMini(&rng);
+  for (auto _ : state) {
+    auto bytes = nn::SerializeParams(model);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * model.ByteSize());
+}
+BENCHMARK(BM_SerializeModel);
+
+void BM_DeserializeModel(benchmark::State& state) {
+  util::Rng rng(12);
+  nn::Sequential model = nn::MakeResMini(&rng);
+  const auto bytes = nn::SerializeParams(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::DeserializeParams(bytes, &model).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * model.ByteSize());
+}
+BENCHMARK(BM_DeserializeModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Table III — Resource consumption (traffic and completion time) of the
+// five schemes on the three models under the non-IID setting.
+//
+// Paper (fixed accuracy requirement): FedMigr/RandMigr consume far less
+// bandwidth and time than FedSwap/FedProx/FedAvg; e.g., FedMigr cuts
+// bandwidth by ~40-54% vs the server-centric schemes. Here: fixed target
+// accuracy per dataset, costs measured at target (or at the epoch cap).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "util/csv.h"
+
+namespace {
+
+struct DatasetCase {
+  const char* label;
+  fedmigr::bench::BenchWorkloadOptions workload;
+  fedmigr::bench::BenchRunOptions run;
+};
+
+}  // namespace
+
+int main() {
+  using namespace fedmigr;
+
+  std::vector<DatasetCase> cases;
+  {
+    DatasetCase c10;
+    c10.label = "C10-CNN";
+    c10.run.max_epochs = 160;
+    c10.run.eval_every = 10;
+    c10.run.target_accuracy = 0.5;
+    cases.push_back(c10);
+  }
+  {
+    DatasetCase c100;
+    c100.label = "C100-CNN";
+    c100.workload.dataset = "c100";
+    c100.workload.num_clients = 20;
+    c100.workload.num_lans = 5;
+    c100.workload.train_per_class = 8;
+    c100.workload.signal = 1.0;
+    c100.run.agg_period = 3;  // tighter sync horizon for the 100-way task
+    c100.run.max_epochs = 140;
+    c100.run.eval_every = 10;
+    c100.run.target_accuracy = 0.35;
+    cases.push_back(c100);
+  }
+  {
+    DatasetCase imagenet;
+    imagenet.label = "Res-ImageNet";
+    imagenet.workload.dataset = "imagenet100";
+    imagenet.workload.num_clients = 20;
+    imagenet.workload.num_lans = 5;
+    imagenet.workload.train_per_class = 10;
+    imagenet.workload.signal = 1.0;
+    imagenet.run.max_epochs = 160;
+    imagenet.run.eval_every = 10;
+    imagenet.run.target_accuracy = 0.55;
+    cases.push_back(imagenet);
+  }
+
+  const char* schemes[] = {"fedavg", "fedswap", "randmigr", "fedprox",
+                           "fedmigr"};
+
+  std::printf(
+      "Table III reproduction: traffic (MB) and simulated time (s) to the "
+      "per-dataset target accuracy (non-IID). '>' marks runs that hit the "
+      "epoch cap first.\n\n");
+  util::TableWriter table({"Scheme", "C10 Traffic", "C10 Time",
+                           "C100 Traffic", "C100 Time", "ImgNet Traffic",
+                           "ImgNet Time"});
+  std::vector<std::vector<std::string>> cells(
+      std::size(schemes), std::vector<std::string>(cases.size() * 2));
+
+  for (size_t d = 0; d < cases.size(); ++d) {
+    const core::Workload workload =
+        bench::MakeBenchWorkload(cases[d].workload);
+    for (size_t s = 0; s < std::size(schemes); ++s) {
+      const fl::RunResult result =
+          bench::RunBench(workload, schemes[s], cases[d].run);
+      const bool hit = result.reached_target;
+      const double traffic_mb =
+          (hit ? result.traffic_to_target_gb : result.traffic_gb) * 1000.0;
+      const double time_s = hit ? result.time_to_target_s : result.time_s;
+      const std::string prefix = hit ? "" : ">";
+      cells[s][2 * d] = prefix + util::FormatDouble(traffic_mb, 1);
+      cells[s][2 * d + 1] = prefix + util::FormatDouble(time_s, 0);
+    }
+  }
+
+  for (size_t s = 0; s < std::size(schemes); ++s) {
+    table.AddRow();
+    table.AddCell(schemes[s]);
+    for (const auto& cell : cells[s]) table.AddCell(cell);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper shape: FedMigr and RandMigr cheapest in both traffic and "
+      "time; FedAvg most expensive.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "common.h"
+
+#include <cstdio>
+
+#include "fl/policies.h"
+#include "util/logging.h"
+
+namespace fedmigr::bench {
+
+core::Workload MakeBenchWorkload(const BenchWorkloadOptions& options) {
+  core::WorkloadConfig config;
+  config.dataset = options.dataset;
+  config.partition = options.partition;
+  config.partition_param = options.partition_param;
+  config.num_clients = options.num_clients;
+  config.num_lans = options.num_lans;
+  config.seed = options.seed;
+  config.signal_override = options.signal;
+  config.train_per_class_override = options.train_per_class;
+  return core::MakeWorkload(config);
+}
+
+fl::SchemeSetup MakeBenchScheme(const std::string& name,
+                                const core::Workload& workload,
+                                const BenchRunOptions& options) {
+  fl::SchemeSetup setup;
+  if (name == "fedmigr") {
+    core::FedMigrOptions fedmigr_options;
+    fedmigr_options.agg_period = options.agg_period;
+    fedmigr_options.policy.online_learning = true;
+    fedmigr_options.policy.rho = 0.2;
+    setup = core::MakeFedMigr(workload.topology, workload.num_classes,
+                              fedmigr_options);
+  } else if (name == "crosslan" || name == "withinlan") {
+    setup.config.scheme_name = name;
+    setup.config.agg_period = options.agg_period;
+    setup.policy =
+        std::make_unique<fl::LanConstrainedPolicy>(name == "crosslan");
+  } else if (name == "randonly") {
+    setup.config.scheme_name = "random";
+    setup.config.agg_period = options.agg_period;
+    setup.policy = std::make_unique<fl::RandomMigrationPolicy>();
+  } else {
+    setup = fl::MakeSchemeByName(name, options.agg_period);
+  }
+  setup.config.max_epochs = options.max_epochs;
+  setup.config.learning_rate = options.learning_rate;
+  setup.config.batch_size = options.batch_size;
+  setup.config.eval_every = options.eval_every;
+  setup.config.target_accuracy = options.target_accuracy;
+  setup.config.budget = options.budget;
+  setup.config.dp = options.dp;
+  setup.config.seed = options.seed;
+  return setup;
+}
+
+fl::RunResult RunBench(const core::Workload& workload,
+                       const std::string& scheme,
+                       const BenchRunOptions& options) {
+  return core::RunScheme(workload, MakeBenchScheme(scheme, workload, options));
+}
+
+std::string PercentChange(double baseline, double value) {
+  if (baseline == 0.0) return "n/a";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%+.0f%%",
+                100.0 * (value - baseline) / baseline);
+  return buffer;
+}
+
+}  // namespace fedmigr::bench

@@ -1,0 +1,66 @@
+// Shared configuration for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the FedMigr paper
+// on the synthetic workloads (see DESIGN.md for the substitution table).
+// The knobs here are the calibrated operating point at which the synthetic
+// system reproduces the paper's qualitative shapes within seconds-scale
+// runs: weak class signal (so federated averaging under label skew is
+// genuinely hard), small batches (real client drift per epoch), aggregation
+// every 5 epochs with migrations in between.
+
+#ifndef FEDMIGR_BENCH_COMMON_H_
+#define FEDMIGR_BENCH_COMMON_H_
+
+#include <string>
+
+#include "core/experiment.h"
+#include "core/fedmigr.h"
+#include "dp/gaussian.h"
+#include "fl/schemes.h"
+#include "net/budget.h"
+
+namespace fedmigr::bench {
+
+struct BenchWorkloadOptions {
+  std::string dataset = "c10";
+  core::PartitionKind partition = core::PartitionKind::kLanShard;
+  double partition_param = 0.0;
+  int num_clients = 10;
+  int num_lans = 3;
+  int train_per_class = 60;
+  double signal = 0.35;  // class-prototype scale (task difficulty)
+  uint64_t seed = 5;
+};
+
+core::Workload MakeBenchWorkload(const BenchWorkloadOptions& options);
+
+struct BenchRunOptions {
+  int max_epochs = 120;
+  int agg_period = 5;  // M + 1 for the migration schemes
+  double learning_rate = 0.05;
+  int batch_size = 16;
+  int eval_every = 20;
+  double target_accuracy = -1.0;
+  net::Budget budget;
+  dp::DpConfig dp;
+  uint64_t seed = 1;
+};
+
+// Scheme names: fedavg | fedprox | fedswap | randmigr | fedmigr |
+// fedmigr-flmm | maxemd | crosslan | withinlan | randonly (random migration
+// policy, used by Fig. 3 where all three strategies share the same loop).
+fl::SchemeSetup MakeBenchScheme(const std::string& name,
+                                const core::Workload& workload,
+                                const BenchRunOptions& options);
+
+// Builds the scheme and runs it on the workload.
+fl::RunResult RunBench(const core::Workload& workload,
+                       const std::string& scheme,
+                       const BenchRunOptions& options);
+
+// "a -> b (-37%)" helper for change-vs-baseline cells.
+std::string PercentChange(double baseline, double value);
+
+}  // namespace fedmigr::bench
+
+#endif  // FEDMIGR_BENCH_COMMON_H_

@@ -1,0 +1,75 @@
+// Synchronous vs asynchronous federated optimization on a heterogeneous
+// fleet (the paper's stated future direction, cf. Xie et al. in its
+// related work).
+//
+// A straggler-heavy fleet makes the trade-off visible: synchronous FedAvg
+// waits for the slowest device every epoch, while the asynchronous server
+// blends updates as they arrive, discounting stale ones.
+//
+//   $ ./async_vs_sync
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "fl/async.h"
+#include "fl/schemes.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace fedmigr;
+
+  core::WorkloadConfig wc;
+  wc.partition = core::PartitionKind::kIid;  // isolate the timing effects
+  wc.signal_override = 0.35;
+  const core::Workload workload = core::MakeWorkload(wc);
+
+  // Heterogeneous fleet: two crippling stragglers.
+  std::vector<net::DeviceProfile> devices = net::MakeUniformFleet(10, 400.0);
+  devices[8].samples_per_second = 40.0;
+  devices[9].samples_per_second = 40.0;
+
+  // --- Synchronous FedAvg. ------------------------------------------------
+  fl::SchemeSetup sync = fl::MakeFedAvg();
+  core::ApplyWorkloadDefaults(workload, &sync.config);
+  sync.config.max_epochs = 60;
+  sync.config.eval_every = 20;
+  sync.config.learning_rate = 0.08;
+  fl::Trainer trainer(sync.config, &workload.data.train, workload.partition,
+                      &workload.data.test, workload.topology, devices,
+                      workload.model_factory, std::move(sync.policy));
+  const fl::RunResult sync_result = trainer.Run();
+
+  // --- Asynchronous FL, same compute substrate. ---------------------------
+  fl::AsyncConfig async_config;
+  async_config.max_updates = 60 * 10;  // same client-rounds as 60 epochs
+  async_config.eval_every = 100;
+  async_config.learning_rate = 0.08;
+  fl::AsyncTrainer async_trainer(
+      async_config, &workload.data.train, workload.partition,
+      &workload.data.test, workload.topology, devices,
+      workload.model_factory);
+  const fl::AsyncRunResult async_result = async_trainer.Run();
+
+  std::printf(
+      "Synchronous vs asynchronous FL with 2 stragglers (10 clients, IID "
+      "data, equal client-round counts)\n\n");
+  util::TableWriter table({"mode", "accuracy (%)", "sim wall-clock (s)",
+                           "traffic (MB)"});
+  table.AddRow();
+  table.AddCell("synchronous (FedAvg)");
+  table.AddCell(100.0 * sync_result.final_accuracy, 1);
+  table.AddCell(sync_result.time_s, 0);
+  table.AddCell(sync_result.traffic_gb * 1000.0, 1);
+  table.AddRow();
+  table.AddCell("asynchronous (FedAsync-style)");
+  table.AddCell(100.0 * async_result.final_accuracy, 1);
+  table.AddCell(async_result.time_s, 0);
+  table.AddCell(async_result.traffic_gb * 1000.0, 1);
+  table.Print(std::cout);
+  std::printf(
+      "\nThe synchronous loop pays the straggler penalty every epoch; the "
+      "asynchronous server\nkeeps fast devices busy and reaches comparable "
+      "accuracy in far less simulated time.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Domain scenario from the paper's introduction: surveillance cameras.
+//
+// "Two surveillance cameras, separately deployed in a station hall and on
+// a street-side, may capture quite different views." We model three sites
+// (station / street / mall), each a LAN of cameras whose local data covers
+// only that site's object classes, and compare plain FedAvg against
+// FedMigr with DRL-guided migration — including what happens to the WAN
+// bill.
+//
+//   $ ./edge_cameras
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/fedmigr.h"
+#include "data/distribution.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace fedmigr;
+
+  // 9 cameras across 3 sites; classes are site-correlated (LAN shards).
+  core::WorkloadConfig wc;
+  wc.dataset = "c10";  // 10 object categories
+  wc.partition = core::PartitionKind::kLanShard;
+  wc.num_clients = 9;
+  wc.num_lans = 3;
+  wc.signal_override = 0.35;
+  const core::Workload workload = core::MakeWorkload(wc);
+
+  // Show how skewed each site is relative to the global distribution.
+  const auto population = data::PopulationDistribution(workload.data.train);
+  std::printf("Site skew (EMD between camera data and global mix):\n");
+  const char* sites[] = {"station", "street", "mall"};
+  for (int cam = 0; cam < 9; cam += 3) {
+    const auto dist = data::LabelDistribution(
+        workload.data.train, workload.partition[static_cast<size_t>(cam)]);
+    std::printf("  %-8s EMD = %.2f (max 2.0)\n",
+                sites[workload.topology.lan_of(cam)],
+                data::EmdDistance(dist, population));
+  }
+
+  auto configure = [&](fl::TrainerConfig* config) {
+    core::ApplyWorkloadDefaults(workload, config);
+    config->max_epochs = 120;
+    config->learning_rate = 0.05;
+    config->batch_size = 16;
+    config->eval_every = 20;
+  };
+
+  fl::SchemeSetup fedavg = fl::MakeSchemeByName("fedavg");
+  configure(&fedavg.config);
+  const fl::RunResult fedavg_result = RunScheme(workload, std::move(fedavg));
+
+  core::FedMigrOptions options;
+  options.agg_period = 5;
+  options.policy.online_learning = true;
+  fl::SchemeSetup fedmigr_scheme =
+      core::MakeFedMigr(workload.topology, workload.num_classes, options);
+  configure(&fedmigr_scheme.config);
+  const fl::RunResult fedmigr_result =
+      RunScheme(workload, std::move(fedmigr_scheme));
+
+  std::printf("\nShared detector quality after 120 training epochs:\n\n");
+  util::TableWriter table({"scheme", "accuracy (%)", "WAN traffic (MB)",
+                           "LAN traffic (MB)", "wall-clock (s, simulated)"});
+  for (const auto* result : {&fedavg_result, &fedmigr_result}) {
+    table.AddRow();
+    table.AddCell(result->scheme);
+    table.AddCell(100.0 * result->final_accuracy, 1);
+    table.AddCell(result->c2s_gb * 1000.0, 1);
+    table.AddCell(result->c2c_gb * 1000.0, 1);
+    table.AddCell(result->time_s, 0);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nFedMigr trains the shared detector with most traffic kept inside "
+      "the sites' LANs\ninstead of the metered WAN uplink.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Differentially-private FedMigr (Section III-E of the paper).
+//
+// Every model that leaves a client — whether migrating to a peer or
+// uploading to the server — is clipped (Eq. 30) and perturbed with the
+// Gaussian mechanism (Eq. 31). This example sweeps the privacy budget and
+// reports the privacy/utility trade-off plus the per-release noise scale.
+//
+//   $ ./private_fl
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/fedmigr.h"
+#include "dp/accountant.h"
+#include "dp/gaussian.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace fedmigr;
+
+  core::WorkloadConfig wc;
+  wc.partition = core::PartitionKind::kLanShard;
+  wc.signal_override = 0.35;
+  const core::Workload workload = core::MakeWorkload(wc);
+
+  struct BudgetCase {
+    const char* label;
+    double epsilon;
+  };
+  const BudgetCase cases[] = {
+      {"off (eps = inf)", 0.0}, {"eps = 300", 300.0}, {"eps = 100", 100.0}};
+
+  std::printf("Differentially-private FedMigr on the C10 analogue\n\n");
+  util::TableWriter table({"privacy budget", "sigma / release",
+                           "accuracy (%)", "epochs"});
+  for (const BudgetCase& c : cases) {
+    core::FedMigrOptions options;
+    options.agg_period = 5;
+    options.policy.online_learning = true;
+    fl::SchemeSetup setup =
+        core::MakeFedMigr(workload.topology, workload.num_classes, options);
+    core::ApplyWorkloadDefaults(workload, &setup.config);
+    setup.config.max_epochs = 100;
+    setup.config.learning_rate = 0.05;
+    setup.config.batch_size = 16;
+    setup.config.eval_every = 25;
+    setup.config.dp.epsilon = c.epsilon;
+    setup.config.dp.clip_norm = 60.0;
+
+    double sigma = 0.0;
+    if (setup.config.dp.enabled()) {
+      sigma = dp::GaussianSigma(setup.config.dp);
+    }
+    const fl::RunResult result = RunScheme(workload, std::move(setup));
+    table.AddRow();
+    table.AddCell(c.label);
+    table.AddCell(sigma, 2);
+    table.AddCell(100.0 * result.final_accuracy, 1);
+    table.AddCell(result.epochs_run);
+  }
+  table.Print(std::cout);
+
+  // Accounting: what a total budget means per release.
+  dp::PrivacyAccountant accountant(100.0, 1e-3);
+  const int releases = 100;  // ~one protected transfer per epoch
+  const double per_release =
+      dp::PrivacyAccountant::PerReleaseEpsilon(100.0, releases);
+  for (int i = 0; i < releases; ++i) accountant.Spend(per_release, 1e-5);
+  std::printf(
+      "\nbasic composition: a total budget of eps=100 over %d releases "
+      "allows eps=%.2f per release\n(accountant: spent %.1f, exhausted: "
+      "%s)\n",
+      releases, per_release, accountant.epsilon_spent(),
+      accountant.Exhausted() ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Scheme sweep: run any subset of the five schemes on a configurable
+// workload and print a comparison table. Doubles as the library's
+// command-line playground.
+//
+//   $ ./scheme_sweep [key=value ...]
+//
+// Keys (defaults in brackets):
+//   dataset=c10|c100|imagenet100   [c10]
+//   partition=iid|shard|dominance|classlack [shard]
+//   param=<double>                 partition parameter      [0]
+//   clients=<int>                  [10]    lans=<int>       [3]
+//   noise=<double>                 dataset noise override   [0 = default]
+//   epochs=<int>                   [150]   agg=<int>        [20]
+//   lr=<double>                    [0.08]  batch=<int>      [32]
+//   eval=<int>                     evaluation period        [10]
+//   target=<double>                target accuracy in [0,1] [off]
+//   schemes=a,b,...                [fedavg,fedprox,fedswap,randmigr,fedmigr]
+//   seed=<int>                     [5]
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/fedmigr.h"
+#include "util/csv.h"
+
+namespace {
+
+using fedmigr::core::PartitionKind;
+
+std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    args[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  return args;
+}
+
+std::string Get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+std::vector<std::string> Split(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = ParseArgs(argc, argv);
+
+  fedmigr::core::WorkloadConfig wc;
+  wc.dataset = Get(args, "dataset", "c10");
+  const std::string partition = Get(args, "partition", "shard");
+  if (partition == "iid") {
+    wc.partition = PartitionKind::kIid;
+  } else if (partition == "shard") {
+    wc.partition = PartitionKind::kShard;
+  } else if (partition == "lanshard") {
+    wc.partition = PartitionKind::kLanShard;
+  } else if (partition == "dominance") {
+    wc.partition = PartitionKind::kDominance;
+  } else if (partition == "classlack") {
+    wc.partition = PartitionKind::kClassLack;
+  } else {
+    std::fprintf(stderr, "unknown partition '%s'\n", partition.c_str());
+    return 1;
+  }
+  wc.partition_param = std::stod(Get(args, "param", "0"));
+  wc.num_clients = std::stoi(Get(args, "clients", "10"));
+  wc.num_lans = std::stoi(Get(args, "lans", "3"));
+  wc.noise_override = std::stod(Get(args, "noise", "0"));
+  wc.signal_override = std::stod(Get(args, "signal", "0"));
+  wc.train_per_class_override = std::stoi(Get(args, "tpc", "0"));
+  wc.seed = static_cast<uint64_t>(std::stoll(Get(args, "seed", "5")));
+
+  const int epochs = std::stoi(Get(args, "epochs", "150"));
+  const int agg = std::stoi(Get(args, "agg", "20"));
+  const double lr = std::stod(Get(args, "lr", "0.08"));
+  const int batch = std::stoi(Get(args, "batch", "32"));
+  const int eval = std::stoi(Get(args, "eval", "10"));
+  const double target = std::stod(Get(args, "target", "0"));
+  const std::vector<std::string> schemes =
+      Split(Get(args, "schemes", "fedavg,fedprox,fedswap,randmigr,fedmigr"));
+
+  const auto workload = fedmigr::core::MakeWorkload(wc);
+  std::printf("dataset=%s partition=%s clients=%d epochs=%d agg=%d lr=%.3f\n",
+              wc.dataset.c_str(), partition.c_str(), wc.num_clients, epochs,
+              agg, lr);
+
+  fedmigr::util::TableWriter table(
+      {"scheme", "final acc (%)", "best acc (%)", "traffic (MB)", "C2S (MB)",
+       "time (s)", "epochs"});
+  for (const std::string& name : schemes) {
+    fedmigr::fl::SchemeSetup setup;
+    if (name == "fedmigr") {
+      fedmigr::core::FedMigrOptions options;
+      options.agg_period = agg;
+      options.policy.online_learning = true;
+      options.policy.rho = std::stod(Get(args, "rho", "0.3"));
+      options.policy.explore = Get(args, "explore", "0") == "1";
+      options.pretrain.episodes =
+          std::stoi(Get(args, "pretrain_episodes", "20"));
+      options.pretrain.train_steps_per_epoch =
+          std::stoi(Get(args, "pretrain_steps", "1"));
+      setup = fedmigr::core::MakeFedMigr(workload.topology,
+                                         workload.num_classes, options);
+    } else {
+      setup = fedmigr::fl::MakeSchemeByName(name, agg);
+    }
+    setup.config.max_epochs = epochs;
+    setup.config.learning_rate = lr;
+    setup.config.batch_size = batch;
+    setup.config.eval_every = eval;
+    if (target > 0.0) setup.config.target_accuracy = target;
+
+    const auto result = RunScheme(workload, std::move(setup));
+    table.AddRow();
+    table.AddCell(result.scheme);
+    table.AddCell(100.0 * result.final_accuracy, 1);
+    table.AddCell(100.0 * result.best_accuracy, 1);
+    table.AddCell(result.traffic_gb * 1000.0, 1);
+    table.AddCell(result.c2s_gb * 1000.0, 1);
+    table.AddCell(result.time_s, 0);
+    table.AddCell(result.epochs_run);
+  }
+  table.Print(std::cout);
+  return 0;
+}

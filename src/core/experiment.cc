@@ -1,0 +1,100 @@
+#include "core/experiment.h"
+
+#include "nn/zoo.h"
+#include "util/logging.h"
+
+namespace fedmigr::core {
+
+Workload MakeWorkload(const WorkloadConfig& config) {
+  Workload workload;
+  workload.config = config;
+
+  data::SyntheticSpec spec;
+  if (config.dataset == "c10") {
+    spec = data::C10Spec();
+    workload.model_name = "c10";
+  } else if (config.dataset == "c100") {
+    spec = data::C100Spec();
+    workload.model_name = "c100";
+  } else if (config.dataset == "imagenet100") {
+    spec = data::ImageNet100Spec();
+    workload.model_name = "resmini";
+  } else {
+    FEDMIGR_CHECK(false) << "unknown dataset: " << config.dataset;
+  }
+  spec.seed ^= config.seed;
+  if (config.noise_override > 0.0) spec.noise = config.noise_override;
+  if (config.signal_override > 0.0) {
+    spec.prototype_scale = config.signal_override;
+  }
+  if (config.train_per_class_override > 0) {
+    spec.train_per_class = config.train_per_class_override;
+  }
+  workload.data = data::GenerateSynthetic(spec);
+  workload.num_classes = spec.num_classes;
+
+  util::Rng rng(config.seed * 7919ULL + 13);
+  switch (config.partition) {
+    case PartitionKind::kIid:
+      workload.partition = data::PartitionIid(workload.data.train,
+                                              config.num_clients, &rng);
+      break;
+    case PartitionKind::kShard: {
+      const int classes_per_client =
+          std::max(1, spec.num_classes / config.num_clients);
+      workload.partition = data::PartitionByClassShards(
+          workload.data.train, config.num_clients, classes_per_client, &rng);
+      break;
+    }
+    case PartitionKind::kLanShard:
+      workload.partition = data::PartitionByLanShards(
+          workload.data.train,
+          net::EvenLanAssignment(config.num_clients, config.num_lans), &rng);
+      break;
+    case PartitionKind::kDominance:
+      workload.partition = data::PartitionDominance(
+          workload.data.train, config.num_clients, config.partition_param,
+          &rng);
+      break;
+    case PartitionKind::kClassLack:
+      workload.partition = data::PartitionClassLack(
+          workload.data.train, config.num_clients,
+          static_cast<int>(config.partition_param), &rng);
+      break;
+  }
+
+  net::TopologyConfig tc;
+  tc.lan_of = net::EvenLanAssignment(config.num_clients, config.num_lans);
+  workload.topology = net::Topology(std::move(tc));
+  workload.devices = net::MakeTestbedFleet(config.num_clients);
+
+  const std::string model_name = workload.model_name;
+  workload.model_factory = [model_name](util::Rng* model_rng) {
+    return nn::MakeModelByName(model_name, model_rng);
+  };
+  return workload;
+}
+
+void ApplyWorkloadDefaults(const Workload& workload,
+                           fl::TrainerConfig* config) {
+  config->batch_size = 32;
+  config->eval_every = 5;
+  config->momentum = 0.0;
+  if (workload.model_name == "c10") {
+    config->learning_rate = 0.08;
+  } else if (workload.model_name == "c100") {
+    config->learning_rate = 0.08;
+  } else {
+    config->learning_rate = 0.05;
+  }
+}
+
+fl::RunResult RunScheme(const Workload& workload, fl::SchemeSetup setup) {
+  fl::Trainer trainer(setup.config, &workload.data.train, workload.partition,
+                      &workload.data.test, workload.topology,
+                      workload.devices, workload.model_factory,
+                      std::move(setup.policy));
+  return trainer.Run();
+}
+
+}  // namespace fedmigr::core

@@ -1,0 +1,66 @@
+// Experiment harness shared by benches, examples and integration tests:
+// builds the paper's workloads (dataset analogue + partition + topology +
+// device fleet + model factory) and runs a scheme on them.
+
+#ifndef FEDMIGR_CORE_EXPERIMENT_H_
+#define FEDMIGR_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/schemes.h"
+#include "fl/trainer.h"
+#include "net/device.h"
+#include "net/topology.h"
+
+namespace fedmigr::core {
+
+enum class PartitionKind {
+  kIid,
+  kShard,       // whole classes per client (the simulation non-IID setting)
+  kLanShard,    // LAN-correlated skew (Fig. 3's motivating layout)
+  kDominance,   // testbed CIFAR-10 skew, parameter p in [0, 1]
+  kClassLack,   // testbed CIFAR-100 skew, parameter = lacked classes
+};
+
+struct WorkloadConfig {
+  // "c10" | "c100" | "imagenet100".
+  std::string dataset = "c10";
+  PartitionKind partition = PartitionKind::kShard;
+  double partition_param = 0.0;
+  int num_clients = 10;
+  int num_lans = 3;
+  uint64_t seed = 5;
+  // Optional dataset-difficulty overrides (0 keeps the spec defaults).
+  double noise_override = 0.0;
+  double signal_override = 0.0;  // prototype scale
+  int train_per_class_override = 0;
+};
+
+struct Workload {
+  WorkloadConfig config;
+  data::TrainTest data;
+  data::Partition partition;
+  net::Topology topology;
+  std::vector<net::DeviceProfile> devices;
+  fl::Trainer::ModelFactory model_factory;
+  std::string model_name;
+  int num_classes = 0;
+};
+
+Workload MakeWorkload(const WorkloadConfig& config);
+
+// Fills scheme-independent training knobs with per-dataset defaults
+// (learning rate, batch size, evaluation cadence).
+void ApplyWorkloadDefaults(const Workload& workload,
+                           fl::TrainerConfig* config);
+
+// Runs one scheme on one workload. `setup.config` must already carry the
+// workload knobs (epochs, budgets, target accuracy, ...).
+fl::RunResult RunScheme(const Workload& workload, fl::SchemeSetup setup);
+
+}  // namespace fedmigr::core
+
+#endif  // FEDMIGR_CORE_EXPERIMENT_H_

@@ -1,0 +1,74 @@
+#include "core/fedmigr.h"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace fedmigr::core {
+
+namespace {
+
+// Clients, classes, LANs, agent seed, pre-training episodes: everything
+// that shapes the trained policy.
+using CacheKey = std::tuple<int, int, int, uint64_t, int>;
+
+std::mutex& CacheMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+std::map<CacheKey, std::shared_ptr<rl::DdpgAgent>>& AgentCache() {
+  static auto* cache = new std::map<CacheKey, std::shared_ptr<rl::DdpgAgent>>;
+  return *cache;
+}
+
+}  // namespace
+
+std::shared_ptr<rl::DdpgAgent> GetOrTrainAgent(const net::Topology& topology,
+                                               int num_classes,
+                                               const FedMigrOptions& options) {
+  const CacheKey key{topology.num_clients(), num_classes, topology.num_lans(),
+                     options.agent.seed, options.pretrain.episodes};
+  if (options.cache_agent) {
+    std::lock_guard<std::mutex> lock(CacheMutex());
+    auto it = AgentCache().find(key);
+    if (it != AgentCache().end()) return it->second;
+  }
+
+  auto agent = std::make_shared<rl::DdpgAgent>(options.agent);
+  rl::SurrogateConfig env_config;
+  env_config.num_clients = topology.num_clients();
+  env_config.num_classes = num_classes;
+  env_config.num_lans = topology.num_lans();
+  const rl::PretrainReport report =
+      rl::Pretrain(agent.get(), env_config, options.pretrain);
+  FEDMIGR_LOG(kDebug) << "FedMigr agent pre-trained: " << report.episodes
+                      << " episodes, return " << report.first_episode_return
+                      << " -> " << report.last_episode_return;
+
+  if (options.cache_agent) {
+    std::lock_guard<std::mutex> lock(CacheMutex());
+    AgentCache()[key] = agent;
+  }
+  return agent;
+}
+
+void ClearAgentCache() {
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  AgentCache().clear();
+}
+
+fl::SchemeSetup MakeFedMigr(const net::Topology& topology, int num_classes,
+                            const FedMigrOptions& options) {
+  fl::SchemeSetup setup;
+  setup.config.scheme_name = "fedmigr";
+  setup.config.agg_period = options.agg_period;
+  auto agent = GetOrTrainAgent(topology, num_classes, options);
+  setup.policy =
+      std::make_unique<rl::DrlMigrationPolicy>(agent, options.policy);
+  return setup;
+}
+
+}  // namespace fedmigr::core

@@ -1,0 +1,49 @@
+// FedMigr: the paper's contribution, assembled.
+//
+// MakeFedMigr() produces a SchemeSetup whose migration policy is a DDPG
+// agent pre-trained offline on the surrogate environment (Section III-B's
+// "train in simulation, deploy in practice"), wrapped in the
+// DrlMigrationPolicy that plans one migration round per non-aggregation
+// epoch and keeps learning online from the Eq. 17/18 reward.
+
+#ifndef FEDMIGR_CORE_FEDMIGR_H_
+#define FEDMIGR_CORE_FEDMIGR_H_
+
+#include <memory>
+
+#include "fl/schemes.h"
+#include "net/topology.h"
+#include "rl/agent.h"
+#include "rl/policy.h"
+#include "rl/pretrain.h"
+
+namespace fedmigr::core {
+
+struct FedMigrOptions {
+  int agg_period = 50;  // M + 1
+  rl::AgentConfig agent;
+  rl::PretrainOptions pretrain;
+  rl::DrlPolicyOptions policy;
+  // When true (default) pre-trained agents are cached per
+  // (clients, classes, lans, seed) so multi-scheme benches pay the
+  // pre-training cost once.
+  bool cache_agent = true;
+};
+
+// Builds the full FedMigr scheme for a network of `topology.num_clients()`
+// clients and `num_classes` label classes.
+fl::SchemeSetup MakeFedMigr(const net::Topology& topology, int num_classes,
+                            const FedMigrOptions& options = {});
+
+// The pre-trained agent itself (shared_ptr so policies can share it);
+// honors the same cache.
+std::shared_ptr<rl::DdpgAgent> GetOrTrainAgent(const net::Topology& topology,
+                                               int num_classes,
+                                               const FedMigrOptions& options);
+
+// Drops all cached agents (tests use this for isolation).
+void ClearAgentCache();
+
+}  // namespace fedmigr::core
+
+#endif  // FEDMIGR_CORE_FEDMIGR_H_

@@ -1,0 +1,94 @@
+#include "data/distribution.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fedmigr::data {
+
+std::vector<double> LabelDistribution(const Dataset& dataset,
+                                      const std::vector<int>& indices) {
+  std::vector<double> dist(static_cast<size_t>(dataset.num_classes()), 0.0);
+  if (indices.empty()) return dist;
+  for (int idx : indices) {
+    ++dist[static_cast<size_t>(dataset.label(idx))];
+  }
+  for (auto& p : dist) p /= static_cast<double>(indices.size());
+  return dist;
+}
+
+std::vector<double> PopulationDistribution(const Dataset& dataset) {
+  std::vector<double> dist(static_cast<size_t>(dataset.num_classes()), 0.0);
+  if (dataset.size() == 0) return dist;
+  for (int i = 0; i < dataset.size(); ++i) {
+    ++dist[static_cast<size_t>(dataset.label(i))];
+  }
+  for (auto& p : dist) p /= static_cast<double>(dataset.size());
+  return dist;
+}
+
+double EmdDistance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  FEDMIGR_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+std::vector<std::vector<double>> ClientDistributions(
+    const Dataset& dataset, const Partition& partition) {
+  std::vector<std::vector<double>> dists;
+  dists.reserve(partition.size());
+  for (const auto& part : partition) {
+    dists.push_back(LabelDistribution(dataset, part));
+  }
+  return dists;
+}
+
+std::vector<std::vector<double>> DivergenceMatrix(
+    const std::vector<std::vector<double>>& client_distributions) {
+  const size_t k = client_distributions.size();
+  std::vector<std::vector<double>> matrix(k, std::vector<double>(k, 0.0));
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      const double d =
+          EmdDistance(client_distributions[i], client_distributions[j]);
+      matrix[i][j] = d;
+      matrix[j][i] = d;
+    }
+  }
+  return matrix;
+}
+
+std::vector<double> MigratedDistribution(const std::vector<double>& own,
+                                         double n_own,
+                                         const std::vector<double>& population,
+                                         double n_total, int num_clients,
+                                         int num_migrations) {
+  FEDMIGR_CHECK_EQ(own.size(), population.size());
+  FEDMIGR_CHECK_GT(num_clients, 0);
+  FEDMIGR_CHECK_GE(num_migrations, 0);
+  const double k = static_cast<double>(num_clients);
+  const double m = static_cast<double>(num_migrations);
+  const double denom = k * n_own + m * n_total;
+  std::vector<double> mixed(own.size());
+  for (size_t l = 0; l < own.size(); ++l) {
+    mixed[l] = (k * n_own * own[l] + m * n_total * population[l]) / denom;
+  }
+  return mixed;
+}
+
+std::vector<double> MixDistributions(const std::vector<double>& a, double n_a,
+                                     const std::vector<double>& b,
+                                     double n_b) {
+  FEDMIGR_CHECK_EQ(a.size(), b.size());
+  const double total = n_a + n_b;
+  FEDMIGR_CHECK_GT(total, 0.0);
+  std::vector<double> mixed(a.size());
+  for (size_t l = 0; l < a.size(); ++l) {
+    mixed[l] = (n_a * a[l] + n_b * b[l]) / total;
+  }
+  return mixed;
+}
+
+}  // namespace fedmigr::data

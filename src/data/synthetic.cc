@@ -1,0 +1,104 @@
+#include "data/synthetic.h"
+
+#include <vector>
+
+#include "nn/zoo.h"
+#include "util/logging.h"
+
+namespace fedmigr::data {
+
+SyntheticSpec C10Spec() {
+  SyntheticSpec spec;
+  spec.name = "synth-c10";
+  spec.num_classes = 10;
+  spec.sample_shape = {nn::kImageChannels, nn::kImageSize, nn::kImageSize};
+  spec.train_per_class = 100;
+  spec.test_per_class = 25;
+  spec.noise = 1.0;
+  spec.seed = 101;
+  return spec;
+}
+
+SyntheticSpec C100Spec() {
+  SyntheticSpec spec;
+  spec.name = "synth-c100";
+  spec.num_classes = 100;
+  spec.sample_shape = {nn::kImageChannels, nn::kImageSize, nn::kImageSize};
+  spec.train_per_class = 20;
+  spec.test_per_class = 5;
+  spec.noise = 1.1;
+  spec.seed = 202;
+  return spec;
+}
+
+SyntheticSpec ImageNet100Spec() {
+  SyntheticSpec spec;
+  spec.name = "synth-imagenet100";
+  spec.num_classes = 100;
+  spec.sample_shape = {nn::kResFeatureDim};
+  spec.train_per_class = 24;
+  spec.test_per_class = 6;
+  spec.noise = 1.2;
+  spec.seed = 303;
+  return spec;
+}
+
+namespace {
+
+// Fills `sample` with prototype + noise.
+void DrawSample(const std::vector<float>& prototype, double noise,
+                util::Rng* rng, float* sample) {
+  for (size_t i = 0; i < prototype.size(); ++i) {
+    sample[i] =
+        prototype[i] + static_cast<float>(rng->Normal(0.0, noise));
+  }
+}
+
+Dataset GenerateSplit(const SyntheticSpec& spec,
+                      const std::vector<std::vector<float>>& prototypes,
+                      int per_class, util::Rng* rng) {
+  const int64_t sample_size = nn::NumElements(spec.sample_shape);
+  const int total = per_class * spec.num_classes;
+  nn::Shape shape = spec.sample_shape;
+  shape.insert(shape.begin(), total);
+  nn::Tensor features(shape);
+  std::vector<int> labels(static_cast<size_t>(total));
+  // Interleave classes so any contiguous prefix is roughly balanced.
+  int row = 0;
+  for (int i = 0; i < per_class; ++i) {
+    for (int c = 0; c < spec.num_classes; ++c) {
+      DrawSample(prototypes[static_cast<size_t>(c)], spec.noise, rng,
+                 features.data() + static_cast<int64_t>(row) * sample_size);
+      labels[static_cast<size_t>(row)] = c;
+      ++row;
+    }
+  }
+  return Dataset(std::move(features), std::move(labels), spec.num_classes);
+}
+
+}  // namespace
+
+TrainTest GenerateSynthetic(const SyntheticSpec& spec) {
+  FEDMIGR_CHECK_GT(spec.num_classes, 0);
+  FEDMIGR_CHECK_GT(spec.train_per_class, 0);
+  FEDMIGR_CHECK_GT(spec.test_per_class, 0);
+  util::Rng rng(spec.seed);
+
+  const int64_t sample_size = nn::NumElements(spec.sample_shape);
+  std::vector<std::vector<float>> prototypes(
+      static_cast<size_t>(spec.num_classes));
+  for (auto& prototype : prototypes) {
+    prototype.resize(static_cast<size_t>(sample_size));
+    for (auto& x : prototype) {
+      x = static_cast<float>(rng.Normal(0.0, spec.prototype_scale));
+    }
+  }
+
+  TrainTest out{
+      GenerateSplit(spec, prototypes, spec.train_per_class, &rng),
+      GenerateSplit(spec, prototypes, spec.test_per_class, &rng),
+  };
+  return out;
+}
+
+}  // namespace fedmigr::data

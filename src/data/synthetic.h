@@ -1,0 +1,51 @@
+// Synthetic benchmark datasets.
+//
+// The paper evaluates on CIFAR-10, CIFAR-100 and ImageNet-100, none of which
+// are available offline. The FL behaviours the evaluation measures —
+// accuracy loss under label skew, recovery via migration, traffic driven by
+// model bytes — depend on *label-distribution structure*, not on natural
+// image statistics, so we substitute Gaussian-prototype "images": every
+// class c has a fixed prototype tensor, and a sample is prototype + noise.
+// Class structure is learnable by the zoo models; heavier noise and more
+// classes make the task harder (C100/ImageNet analogues).
+
+#ifndef FEDMIGR_DATA_SYNTHETIC_H_
+#define FEDMIGR_DATA_SYNTHETIC_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace fedmigr::data {
+
+struct SyntheticSpec {
+  std::string name;        // diagnostic tag
+  int num_classes = 10;
+  nn::Shape sample_shape;  // e.g. {3, 8, 8} image or {64} flat
+  int train_per_class = 100;
+  int test_per_class = 20;
+  double noise = 0.8;        // stddev of additive sample noise
+  double prototype_scale = 1.0;  // stddev of prototype entries
+  uint64_t seed = 17;
+};
+
+// The three dataset analogues used across the benches. Sizes are scaled so
+// every bench finishes in seconds while keeping the relative difficulty
+// ordering C10 < C100 <= ImageNet-100 from the paper.
+SyntheticSpec C10Spec();
+SyntheticSpec C100Spec();
+SyntheticSpec ImageNet100Spec();
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+// Materializes train and test splits drawn from the same class prototypes.
+TrainTest GenerateSynthetic(const SyntheticSpec& spec);
+
+}  // namespace fedmigr::data
+
+#endif  // FEDMIGR_DATA_SYNTHETIC_H_

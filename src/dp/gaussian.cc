@@ -1,0 +1,52 @@
+#include "dp/gaussian.h"
+
+#include <cmath>
+
+#include "nn/serialize.h"
+#include "util/logging.h"
+
+namespace fedmigr::dp {
+
+double GaussianSigma(const DpConfig& config) {
+  FEDMIGR_CHECK(config.enabled());
+  FEDMIGR_CHECK_GT(config.delta, 0.0);
+  FEDMIGR_CHECK_LT(config.delta, 1.0);
+  return config.clip_norm * std::sqrt(2.0 * std::log(1.25 / config.delta)) /
+         config.epsilon;
+}
+
+double ClipL2(std::vector<float>* flat, double clip_norm) {
+  FEDMIGR_CHECK_GT(clip_norm, 0.0);
+  double norm_sq = 0.0;
+  for (float x : *flat) norm_sq += static_cast<double>(x) * x;
+  const double norm = std::sqrt(norm_sq);
+  if (norm <= clip_norm) return 1.0;
+  const double factor = clip_norm / norm;
+  for (auto& x : *flat) x = static_cast<float>(x * factor);
+  return factor;
+}
+
+void AddGaussianNoise(std::vector<float>* flat, double sigma,
+                      util::Rng* rng) {
+  FEDMIGR_CHECK_GE(sigma, 0.0);
+  if (sigma == 0.0) return;
+  for (auto& x : *flat) {
+    x += static_cast<float>(rng->Normal(0.0, sigma));
+  }
+}
+
+void PrivatizeModel(const DpConfig& config, nn::Sequential* model,
+                    util::Rng* rng) {
+  if (!config.enabled()) return;
+  std::vector<float> flat = nn::FlattenParams(*model);
+  ClipL2(&flat, config.clip_norm);
+  // Per-coordinate noise scaled down by sqrt(dim): the release is one
+  // vector-valued query with L2 sensitivity C, so the mechanism's total
+  // noise norm is what the (ε, δ) bound constrains.
+  const double sigma =
+      GaussianSigma(config) / std::sqrt(static_cast<double>(flat.size()));
+  AddGaussianNoise(&flat, sigma, rng);
+  FEDMIGR_CHECK(nn::UnflattenParams(flat, model).ok());
+}
+
+}  // namespace fedmigr::dp

@@ -1,0 +1,42 @@
+// Differential privacy for transmitted models (Section III-E of the paper):
+// L2 clipping (Eq. 30) followed by the Gaussian mechanism (Eq. 31), with the
+// noise scale derived from an (ε, δ) budget.
+
+#ifndef FEDMIGR_DP_GAUSSIAN_H_
+#define FEDMIGR_DP_GAUSSIAN_H_
+
+#include <vector>
+
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace fedmigr::dp {
+
+struct DpConfig {
+  // epsilon <= 0 means "privacy off" (the paper's ε = ∞ runs).
+  double epsilon = 0.0;
+  double delta = 1e-5;
+  // Clipping threshold C for the whole parameter vector (Eq. 30).
+  double clip_norm = 10.0;
+  bool enabled() const { return epsilon > 0.0; }
+};
+
+// Gaussian-mechanism noise scale for one release:
+// sigma = C * sqrt(2 ln(1.25/δ)) / ε (Abadi-style analytic bound).
+double GaussianSigma(const DpConfig& config);
+
+// Clips the flat vector to L2 norm `clip_norm` (Eq. 30). Returns the factor
+// applied (1.0 when no clipping occurred).
+double ClipL2(std::vector<float>* flat, double clip_norm);
+
+// Adds N(0, sigma^2) noise to every coordinate (Eq. 31).
+void AddGaussianNoise(std::vector<float>* flat, double sigma, util::Rng* rng);
+
+// Full pipeline applied to a model in place: flatten, clip, perturb,
+// restore. No-op when config.enabled() is false.
+void PrivatizeModel(const DpConfig& config, nn::Sequential* model,
+                    util::Rng* rng);
+
+}  // namespace fedmigr::dp
+
+#endif  // FEDMIGR_DP_GAUSSIAN_H_

@@ -1,0 +1,162 @@
+#include "fl/async.h"
+
+#include <cmath>
+#include <queue>
+
+#include "fl/client.h"
+#include "util/logging.h"
+
+namespace fedmigr::fl {
+
+namespace {
+
+// One pending "client k finishes its local round at time t" event.
+struct FinishEvent {
+  double time = 0.0;
+  int client = 0;
+  bool operator>(const FinishEvent& other) const {
+    return time > other.time;
+  }
+};
+
+}  // namespace
+
+AsyncTrainer::AsyncTrainer(AsyncConfig config, const data::Dataset* train,
+                           data::Partition partition,
+                           const data::Dataset* test, net::Topology topology,
+                           std::vector<net::DeviceProfile> devices,
+                           ModelFactory model_factory)
+    : config_(std::move(config)),
+      train_(train),
+      test_(test),
+      topology_(std::move(topology)),
+      devices_(std::move(devices)),
+      partition_(std::move(partition)),
+      model_factory_(std::move(model_factory)) {
+  FEDMIGR_CHECK(train_ != nullptr);
+  FEDMIGR_CHECK(test_ != nullptr);
+  FEDMIGR_CHECK_EQ(partition_.size(),
+                   static_cast<size_t>(topology_.num_clients()));
+  FEDMIGR_CHECK_EQ(devices_.size(), partition_.size());
+  FEDMIGR_CHECK_GT(config_.mixing_alpha, 0.0);
+  FEDMIGR_CHECK_LE(config_.mixing_alpha, 1.0);
+}
+
+AsyncRunResult AsyncTrainer::Run() {
+  const int k = topology_.num_clients();
+  util::Rng rng(config_.seed);
+  util::Rng model_rng = rng.Split();
+  nn::Sequential global = model_factory_(&model_rng);
+  const int64_t model_bytes = global.ByteSize();
+  const int64_t model_params = global.NumParams();
+  Server server(global, test_);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    clients.push_back(std::make_unique<Client>(
+        i, train_, partition_[static_cast<size_t>(i)], config_.learning_rate,
+        /*momentum=*/0.0, config_.seed * 7907ULL + static_cast<uint64_t>(i)));
+    clients.back()->SetModel(server.global_model());
+  }
+
+  // last_sync[i]: server-update count when client i last downloaded.
+  std::vector<int> last_sync(static_cast<size_t>(k), 0);
+  net::Budget budget = config_.budget;
+  net::TrafficAccountant traffic;
+
+  LocalUpdateOptions local;
+  local.epochs = config_.local_epochs;
+  local.batch_size = config_.batch_size;
+
+  auto round_seconds = [&](int i) {
+    const int64_t samples =
+        static_cast<int64_t>(clients[static_cast<size_t>(i)]->num_samples()) *
+        config_.local_epochs;
+    return net::ComputeSeconds(devices_[static_cast<size_t>(i)], samples,
+                               model_params);
+  };
+
+  std::priority_queue<FinishEvent, std::vector<FinishEvent>,
+                      std::greater<FinishEvent>>
+      events;
+  for (int i = 0; i < k; ++i) {
+    events.push({round_seconds(i), i});
+  }
+
+  AsyncRunResult result;
+  double last_accuracy = 0.0;
+  int updates = 0;
+  double now = 0.0;
+  while (updates < config_.max_updates && !events.empty()) {
+    const FinishEvent event = events.top();
+    events.pop();
+    now = event.time;
+    const int i = event.client;
+    Client& client = *clients[static_cast<size_t>(i)];
+
+    // The round that just "finished" in simulated time is executed now.
+    const LocalUpdateResult update_result = client.LocalUpdate(local);
+    budget.ConsumeCompute(
+        static_cast<double>(update_result.samples_processed));
+
+    // Upload over the WAN and blend with staleness-discounted weight.
+    const double upload_s =
+        topology_.TransferSeconds(i, net::kServerId, model_bytes);
+    traffic.Record(i, net::kServerId, model_bytes);
+    budget.ConsumeBandwidth(static_cast<double>(model_bytes));
+
+    ++updates;
+    const int staleness = updates - 1 - last_sync[static_cast<size_t>(i)];
+    const double mix =
+        config_.mixing_alpha *
+        std::pow(1.0 + static_cast<double>(staleness),
+                 -config_.staleness_exponent);
+    server.global_model().LerpParamsFrom(client.model(),
+                                         static_cast<float>(mix));
+
+    // Download the fresh global model and schedule the next round.
+    const double download_s =
+        topology_.TransferSeconds(net::kServerId, i, model_bytes);
+    traffic.Record(net::kServerId, i, model_bytes);
+    budget.ConsumeBandwidth(static_cast<double>(model_bytes));
+    client.SetModel(server.global_model());
+    last_sync[static_cast<size_t>(i)] = updates;
+
+    const double next_finish =
+        now + upload_s + download_s + round_seconds(i);
+    events.push({next_finish, i});
+
+    if (config_.eval_every > 0 &&
+        (updates % config_.eval_every == 0 ||
+         updates == config_.max_updates)) {
+      last_accuracy = server.EvaluateGlobal(config_.batch_size * 2).accuracy;
+    }
+
+    AsyncUpdateRecord record;
+    record.update = updates;
+    record.client = i;
+    record.staleness = staleness;
+    record.sim_time_s = now;
+    record.test_accuracy = last_accuracy;
+    result.history.push_back(record);
+    result.best_accuracy = std::max(result.best_accuracy, last_accuracy);
+
+    const bool target_hit = config_.target_accuracy > 0.0 &&
+                            last_accuracy >= config_.target_accuracy;
+    if (target_hit && !result.reached_target) {
+      result.reached_target = true;
+      result.updates_to_target = updates;
+      result.time_to_target_s = now;
+    }
+    if (target_hit || budget.Exhausted()) break;
+  }
+
+  result.final_accuracy = last_accuracy;
+  result.updates_run = updates;
+  result.time_s = now;
+  result.traffic_gb = static_cast<double>(traffic.total_bytes()) / 1e9;
+  return result;
+}
+
+}  // namespace fedmigr::fl

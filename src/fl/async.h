@@ -1,0 +1,96 @@
+// Asynchronous federated optimization (the paper's stated future
+// direction, and the Xie et al. baseline its related-work section
+// discusses).
+//
+// Unlike the synchronous Trainer, there is no epoch barrier: each client
+// trains continuously; whenever one finishes a local round it uploads its
+// model, the server immediately blends it into the global model with a
+// staleness-discounted mixing weight (FedAsync's polynomial decay), and
+// the client continues from the fresh global model. The whole exchange is
+// driven by a discrete-event queue over the same topology / device / budget
+// substrate as the synchronous loop, so traffic and completion times are
+// directly comparable.
+
+#ifndef FEDMIGR_FL_ASYNC_H_
+#define FEDMIGR_FL_ASYNC_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "fl/server.h"
+#include "net/budget.h"
+#include "net/device.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "util/rng.h"
+
+namespace fedmigr::fl {
+
+struct AsyncConfig {
+  // Stop after this many server updates (one update = one client upload).
+  int max_updates = 200;
+  int local_epochs = 1;  // local passes per round
+  int batch_size = 16;
+  double learning_rate = 0.05;
+  // Base mixing weight α of FedAsync: w_g ← (1-αs) w_g + αs w_k.
+  double mixing_alpha = 0.4;
+  // Polynomial staleness exponent a: αs = α (1 + staleness)^-a, where
+  // staleness = number of server updates since the client last synced.
+  double staleness_exponent = 0.5;
+  // Evaluate the global model every this many server updates.
+  int eval_every = 20;
+  double target_accuracy = -1.0;
+  net::Budget budget;
+  uint64_t seed = 1;
+};
+
+struct AsyncUpdateRecord {
+  int update = 0;          // server-update index (1-based)
+  int client = 0;
+  int staleness = 0;
+  double sim_time_s = 0.0;  // simulated wall-clock of this update
+  double test_accuracy = 0.0;  // carried forward between evaluations
+};
+
+struct AsyncRunResult {
+  std::vector<AsyncUpdateRecord> history;
+  double final_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  int updates_run = 0;
+  double time_s = 0.0;
+  double traffic_gb = 0.0;
+  bool reached_target = false;
+  int updates_to_target = -1;
+  double time_to_target_s = -1.0;
+};
+
+// Runs asynchronous FL over the given workload pieces. `partition[k]` is
+// client k's sample-index list into `train`.
+class AsyncTrainer {
+ public:
+  using ModelFactory = std::function<nn::Sequential(util::Rng*)>;
+
+  AsyncTrainer(AsyncConfig config, const data::Dataset* train,
+               data::Partition partition, const data::Dataset* test,
+               net::Topology topology,
+               std::vector<net::DeviceProfile> devices,
+               ModelFactory model_factory);
+
+  AsyncRunResult Run();
+
+ private:
+  AsyncConfig config_;
+  const data::Dataset* train_;
+  const data::Dataset* test_;
+  net::Topology topology_;
+  std::vector<net::DeviceProfile> devices_;
+  data::Partition partition_;
+  ModelFactory model_factory_;
+};
+
+}  // namespace fedmigr::fl
+
+#endif  // FEDMIGR_FL_ASYNC_H_

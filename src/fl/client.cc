@@ -1,0 +1,66 @@
+#include "fl/client.h"
+
+#include "data/distribution.h"
+#include "nn/loss.h"
+#include "nn/serialize.h"
+#include "util/logging.h"
+
+namespace fedmigr::fl {
+
+Client::Client(int id, const data::Dataset* dataset, std::vector<int> indices,
+               double learning_rate, double momentum, uint64_t seed)
+    : id_(id),
+      dataset_(dataset),
+      indices_(std::move(indices)),
+      optimizer_(learning_rate, momentum),
+      rng_(seed) {
+  FEDMIGR_CHECK(dataset_ != nullptr);
+  label_distribution_ = data::LabelDistribution(*dataset_, indices_);
+}
+
+void Client::SetModel(const nn::Sequential& model) { model_ = model; }
+
+void Client::SetProximalReference(const nn::Sequential& global) {
+  proximal_reference_ = nn::FlattenParams(global);
+}
+
+LocalUpdateResult Client::LocalUpdate(const LocalUpdateOptions& options) {
+  LocalUpdateResult result;
+  if (indices_.empty()) return result;
+  data::BatchIterator batches(dataset_, indices_, options.batch_size, &rng_);
+  double loss_sum = 0.0;
+  int batch_count = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    batches.Reset();
+    nn::Tensor batch;
+    std::vector<int> labels;
+    while (batches.Next(&batch, &labels)) {
+      model_.ZeroGrads();
+      const nn::Tensor logits = model_.Forward(batch, /*training=*/true);
+      nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+      model_.Backward(loss.grad_logits);
+      if (options.fedprox_mu > 0.0 && !proximal_reference_.empty()) {
+        // Proximal term: grad += μ (w - w_ref).
+        auto params = model_.Params();
+        auto grads = model_.Grads();
+        size_t offset = 0;
+        const float mu = static_cast<float>(options.fedprox_mu);
+        for (size_t p = 0; p < params.size(); ++p) {
+          for (int64_t j = 0; j < params[p]->size(); ++j) {
+            (*grads[p])[j] += mu * ((*params[p])[j] -
+                                    proximal_reference_[offset + j]);
+          }
+          offset += static_cast<size_t>(params[p]->size());
+        }
+      }
+      optimizer_.Step(&model_);
+      loss_sum += loss.loss;
+      ++batch_count;
+      result.samples_processed += static_cast<int64_t>(labels.size());
+    }
+  }
+  result.mean_loss = batch_count > 0 ? loss_sum / batch_count : 0.0;
+  return result;
+}
+
+}  // namespace fedmigr::fl

@@ -1,0 +1,73 @@
+// Simulated FL client: owns a slice of the training data, a local model
+// replica and an SGD optimizer, and performs the Local Updating step
+// (optionally with FedProx's proximal term).
+
+#ifndef FEDMIGR_FL_CLIENT_H_
+#define FEDMIGR_FL_CLIENT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace fedmigr::fl {
+
+struct LocalUpdateOptions {
+  int epochs = 1;        // τ in the paper
+  int batch_size = 32;
+  // FedProx proximal weight μ; 0 disables the term. When enabled, the
+  // gradient gains μ (w - w_ref) with w_ref the last distributed global
+  // model.
+  double fedprox_mu = 0.0;
+};
+
+struct LocalUpdateResult {
+  double mean_loss = 0.0;
+  int64_t samples_processed = 0;
+};
+
+class Client {
+ public:
+  // `dataset` must outlive the client. `indices` selects this client's local
+  // samples.
+  Client(int id, const data::Dataset* dataset, std::vector<int> indices,
+         double learning_rate, double momentum, uint64_t seed);
+
+  int id() const { return id_; }
+  int num_samples() const { return static_cast<int>(indices_.size()); }
+  const std::vector<int>& indices() const { return indices_; }
+
+  // Local label distribution (cached at construction).
+  const std::vector<double>& label_distribution() const {
+    return label_distribution_;
+  }
+
+  nn::Sequential& model() { return model_; }
+  const nn::Sequential& model() const { return model_; }
+
+  // Installs a model replica (Model Distribution or an incoming migration).
+  void SetModel(const nn::Sequential& model);
+
+  // Records the reference point for FedProx's proximal term. Call at every
+  // Model Distribution.
+  void SetProximalReference(const nn::Sequential& global);
+
+  // Runs `options.epochs` passes of mini-batch SGD over the local data.
+  LocalUpdateResult LocalUpdate(const LocalUpdateOptions& options);
+
+ private:
+  int id_;
+  const data::Dataset* dataset_;
+  std::vector<int> indices_;
+  std::vector<double> label_distribution_;
+  nn::Sequential model_;
+  nn::Sgd optimizer_;
+  util::Rng rng_;
+  std::vector<float> proximal_reference_;  // flattened global params
+};
+
+}  // namespace fedmigr::fl
+
+#endif  // FEDMIGR_FL_CLIENT_H_

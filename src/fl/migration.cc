@@ -1,0 +1,84 @@
+#include "fl/migration.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fedmigr::fl {
+
+MigrationPlan MigrationPlan::Identity(int num_clients) {
+  MigrationPlan plan;
+  plan.incoming.resize(static_cast<size_t>(num_clients));
+  for (int j = 0; j < num_clients; ++j) {
+    plan.incoming[static_cast<size_t>(j)] = j;
+  }
+  return plan;
+}
+
+int MigrationPlan::NumMoves() const {
+  int moves = 0;
+  for (size_t j = 0; j < incoming.size(); ++j) {
+    if (incoming[j] != static_cast<int>(j)) ++moves;
+  }
+  return moves;
+}
+
+bool MigrationPlan::IsPermutation() const {
+  std::vector<int> seen(incoming.size(), 0);
+  for (int i : incoming) {
+    if (i < 0 || i >= static_cast<int>(incoming.size())) return false;
+    if (++seen[static_cast<size_t>(i)] > 1) return false;
+  }
+  return true;
+}
+
+MigrationPlan PlanFromDestinations(const std::vector<int>& destination,
+                                   bool via_server) {
+  const int k = static_cast<int>(destination.size());
+  MigrationPlan plan = MigrationPlan::Identity(k);
+  plan.via_server = via_server;
+  std::vector<bool> receives(static_cast<size_t>(k), false);
+  for (int i = 0; i < k; ++i) {
+    const int j = destination[static_cast<size_t>(i)];
+    FEDMIGR_CHECK_GE(j, 0);
+    FEDMIGR_CHECK_LT(j, k);
+    if (j == i) continue;
+    FEDMIGR_CHECK(!receives[static_cast<size_t>(j)])
+        << "client " << j << " receives two models";
+    receives[static_cast<size_t>(j)] = true;
+    plan.incoming[static_cast<size_t>(j)] = i;
+  }
+  return plan;
+}
+
+MigrationCost CostAndRecord(const MigrationPlan& plan,
+                            const net::Topology& topology, int64_t model_bytes,
+                            net::TrafficAccountant* traffic) {
+  MigrationCost cost;
+  for (size_t j = 0; j < plan.incoming.size(); ++j) {
+    const int src = plan.incoming[j];
+    const int dst = static_cast<int>(j);
+    if (src == dst) continue;
+    ++cost.num_moves;
+    double seconds = 0.0;
+    if (plan.via_server) {
+      // Two WAN hops: src -> server, server -> dst.
+      seconds = topology.TransferSeconds(src, net::kServerId, model_bytes) +
+                topology.TransferSeconds(net::kServerId, dst, model_bytes);
+      cost.bytes += 2 * model_bytes;
+      if (traffic != nullptr) {
+        traffic->Record(src, net::kServerId, model_bytes);
+        traffic->Record(net::kServerId, dst, model_bytes);
+      }
+    } else {
+      seconds = topology.TransferSeconds(src, dst, model_bytes);
+      cost.bytes += model_bytes;
+      if (traffic != nullptr) traffic->Record(src, dst, model_bytes);
+    }
+    // Transfers run in parallel; the round takes as long as the slowest.
+    cost.seconds = std::max(cost.seconds, seconds);
+  }
+  return cost;
+}
+
+}  // namespace fedmigr::fl

@@ -1,0 +1,58 @@
+// Migration plans and their execution.
+//
+// A plan says, for every client j, which client's model it runs next:
+// incoming[j] = i installs client i's current model on client j (i == j
+// keeps the local model). Plans from the Hungarian pipeline are
+// permutations; the DRL single-pair plans and FedSwap pairings are handled
+// by the same representation.
+//
+// `via_server` distinguishes FedSwap-style exchange (models travel through
+// the PS, charged as C2S WAN traffic both ways) from true C2C migration.
+
+#ifndef FEDMIGR_FL_MIGRATION_H_
+#define FEDMIGR_FL_MIGRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace fedmigr::fl {
+
+struct MigrationPlan {
+  std::vector<int> incoming;  // incoming[j] = source client for j's model
+  bool via_server = false;
+
+  // A plan that keeps every model where it is.
+  static MigrationPlan Identity(int num_clients);
+
+  // Number of models that actually move.
+  int NumMoves() const;
+  bool IsIdentity() const { return NumMoves() == 0; }
+  // True when `incoming` is a permutation of [0, K).
+  bool IsPermutation() const;
+};
+
+// From a destination map (destination[i] = j means i's model goes to j,
+// i = stay) to the incoming representation. Destinations must be distinct
+// for moved models.
+MigrationPlan PlanFromDestinations(const std::vector<int>& destination,
+                                   bool via_server = false);
+
+struct MigrationCost {
+  double seconds = 0.0;   // wall-clock (moves happen in parallel: max)
+  int64_t bytes = 0;      // total traffic charged
+  int num_moves = 0;
+};
+
+// Computes the traffic/time cost of executing `plan` with models of
+// `model_bytes` bytes and records every transfer in `traffic` (if non-null).
+// Does not touch any models — callers move the actual replicas.
+MigrationCost CostAndRecord(const MigrationPlan& plan,
+                            const net::Topology& topology, int64_t model_bytes,
+                            net::TrafficAccountant* traffic);
+
+}  // namespace fedmigr::fl
+
+#endif  // FEDMIGR_FL_MIGRATION_H_

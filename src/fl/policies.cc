@@ -1,0 +1,120 @@
+#include "fl/policies.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/distribution.h"
+#include "opt/hungarian.h"
+#include "util/logging.h"
+
+namespace fedmigr::fl {
+
+std::vector<std::vector<double>> MigrationGainMatrix(
+    const PolicyContext& ctx) {
+  FEDMIGR_CHECK(ctx.model_distributions != nullptr);
+  FEDMIGR_CHECK(ctx.client_distributions != nullptr);
+  const auto& model = *ctx.model_distributions;
+  const auto& client = *ctx.client_distributions;
+  FEDMIGR_CHECK_EQ(model.size(), client.size());
+  const size_t k = model.size();
+  std::vector<std::vector<double>> gain(k, std::vector<double>(k, 0.0));
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      gain[i][j] = data::EmdDistance(model[i], client[j]);
+    }
+  }
+  return gain;
+}
+
+MigrationPlan NoMigrationPolicy::Plan(const PolicyContext& ctx) {
+  return MigrationPlan::Identity(ctx.topology->num_clients());
+}
+
+MigrationPlan RandomMigrationPolicy::Plan(const PolicyContext& ctx) {
+  const int k = ctx.topology->num_clients();
+  std::vector<int> perm(static_cast<size_t>(k));
+  std::iota(perm.begin(), perm.end(), 0);
+  ctx.rng->Shuffle(perm);
+  // perm is "destination of model i"; convert to incoming representation.
+  return PlanFromDestinations(perm);
+}
+
+MigrationPlan FedSwapPolicy::Plan(const PolicyContext& ctx) {
+  const int k = ctx.topology->num_clients();
+  std::vector<int> order(static_cast<size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  ctx.rng->Shuffle(order);
+  std::vector<int> destination(static_cast<size_t>(k));
+  std::iota(destination.begin(), destination.end(), 0);
+  for (int p = 0; p + 1 < k; p += 2) {
+    const int a = order[static_cast<size_t>(p)];
+    const int b = order[static_cast<size_t>(p + 1)];
+    destination[static_cast<size_t>(a)] = b;
+    destination[static_cast<size_t>(b)] = a;
+  }
+  return PlanFromDestinations(destination, /*via_server=*/true);
+}
+
+MigrationPlan LanConstrainedPolicy::Plan(const PolicyContext& ctx) {
+  const int k = ctx.topology->num_clients();
+  // Greedy bipartite construction: each destination (in random order) takes
+  // a random unused source satisfying the LAN constraint, falling back to
+  // any unused source when none qualifies.
+  std::vector<int> dst_order(static_cast<size_t>(k));
+  std::iota(dst_order.begin(), dst_order.end(), 0);
+  ctx.rng->Shuffle(dst_order);
+  std::vector<bool> used(static_cast<size_t>(k), false);
+  std::vector<int> incoming(static_cast<size_t>(k), -1);
+  for (int j : dst_order) {
+    std::vector<int> candidates;
+    for (int i = 0; i < k; ++i) {
+      if (used[static_cast<size_t>(i)] || i == j) continue;
+      const bool same = ctx.topology->SameLan(i, j);
+      if (cross_lan_ ? !same : same) candidates.push_back(i);
+    }
+    if (candidates.empty()) {
+      for (int i = 0; i < k; ++i) {
+        if (!used[static_cast<size_t>(i)]) candidates.push_back(i);
+      }
+    }
+    const int pick =
+        candidates[static_cast<size_t>(ctx.rng->UniformInt(
+            static_cast<int>(candidates.size())))];
+    incoming[static_cast<size_t>(j)] = pick;
+    used[static_cast<size_t>(pick)] = true;
+  }
+  MigrationPlan plan;
+  plan.incoming = std::move(incoming);
+  FEDMIGR_CHECK(plan.IsPermutation());
+  return plan;
+}
+
+MigrationPlan MaxEmdPolicy::Plan(const PolicyContext& ctx) {
+  const auto gain = MigrationGainMatrix(ctx);
+  const size_t k = gain.size();
+  std::vector<std::vector<double>> cost(k, std::vector<double>(k, 0.0));
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) cost[i][j] = -gain[i][j];
+  }
+  const std::vector<int> destination = opt::SolveAssignment(cost);
+  return PlanFromDestinations(destination);
+}
+
+MigrationPlan FlmmPolicy::Plan(const PolicyContext& ctx) {
+  const auto gain = MigrationGainMatrix(ctx);
+  // Eq. 16's bandwidth constraint enters the relaxation as an adaptive
+  // communication penalty: the closer the budget is to exhaustion, the
+  // costlier every transfer looks, until migrations stop entirely (the
+  // paper's worst case degrades to FedAvg).
+  opt::FlmmOptions options = options_;
+  if (ctx.budget != nullptr) {
+    const double used = ctx.budget->BandwidthUsedFraction();
+    options.comm_weight = options_.comm_weight / std::max(0.05, 1.0 - used);
+  }
+  const opt::FlmmPlan flmm =
+      opt::SolveFlmm(gain, *ctx.topology, ctx.model_bytes, options);
+  return PlanFromDestinations(flmm.destination);
+}
+
+}  // namespace fedmigr::fl

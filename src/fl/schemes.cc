@@ -1,0 +1,67 @@
+#include "fl/schemes.h"
+
+#include "util/logging.h"
+
+namespace fedmigr::fl {
+
+SchemeSetup MakeFedAvg() {
+  SchemeSetup setup;
+  setup.config.scheme_name = "fedavg";
+  setup.config.agg_period = 1;
+  setup.policy = std::make_unique<NoMigrationPolicy>();
+  return setup;
+}
+
+SchemeSetup MakeFedProx(double mu) {
+  SchemeSetup setup;
+  setup.config.scheme_name = "fedprox";
+  setup.config.agg_period = 1;
+  setup.config.fedprox_mu = mu;
+  setup.policy = std::make_unique<NoMigrationPolicy>();
+  return setup;
+}
+
+SchemeSetup MakeFedSwap(int agg_period) {
+  SchemeSetup setup;
+  setup.config.scheme_name = "fedswap";
+  setup.config.agg_period = agg_period;
+  setup.policy = std::make_unique<FedSwapPolicy>();
+  return setup;
+}
+
+SchemeSetup MakeRandMigr(int agg_period) {
+  SchemeSetup setup;
+  setup.config.scheme_name = "randmigr";
+  setup.config.agg_period = agg_period;
+  setup.policy = std::make_unique<RandomMigrationPolicy>();
+  return setup;
+}
+
+SchemeSetup MakeFedMigrFlmm(int agg_period) {
+  SchemeSetup setup;
+  setup.config.scheme_name = "fedmigr-flmm";
+  setup.config.agg_period = agg_period;
+  setup.policy = std::make_unique<FlmmPolicy>();
+  return setup;
+}
+
+SchemeSetup MakeMaxEmd(int agg_period) {
+  SchemeSetup setup;
+  setup.config.scheme_name = "maxemd";
+  setup.config.agg_period = agg_period;
+  setup.policy = std::make_unique<MaxEmdPolicy>();
+  return setup;
+}
+
+SchemeSetup MakeSchemeByName(const std::string& name, int agg_period) {
+  if (name == "fedavg") return MakeFedAvg();
+  if (name == "fedprox") return MakeFedProx();
+  if (name == "fedswap") return MakeFedSwap(agg_period);
+  if (name == "randmigr") return MakeRandMigr(agg_period);
+  if (name == "fedmigr-flmm") return MakeFedMigrFlmm(agg_period);
+  if (name == "maxemd") return MakeMaxEmd(agg_period);
+  FEDMIGR_CHECK(false) << "unknown scheme: " << name;
+  return MakeFedAvg();  // unreachable
+}
+
+}  // namespace fedmigr::fl

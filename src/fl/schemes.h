@@ -1,0 +1,39 @@
+// Ready-made configurations for the paper's baseline schemes. Each factory
+// returns a (TrainerConfig, MigrationPolicy) pair tuned to the scheme's
+// semantics; callers then override the workload knobs (epochs, lr, ...).
+
+#ifndef FEDMIGR_FL_SCHEMES_H_
+#define FEDMIGR_FL_SCHEMES_H_
+
+#include <memory>
+#include <string>
+
+#include "fl/policies.h"
+#include "fl/trainer.h"
+
+namespace fedmigr::fl {
+
+struct SchemeSetup {
+  TrainerConfig config;
+  std::unique_ptr<MigrationPolicy> policy;
+};
+
+// `agg_period` is the paper's M+1 (e.g. 50 for the default "aggregate every
+// 50 epochs with 49 migrations in between").
+SchemeSetup MakeFedAvg();
+SchemeSetup MakeFedProx(double mu = 0.01);
+SchemeSetup MakeFedSwap(int agg_period = 50);
+SchemeSetup MakeRandMigr(int agg_period = 50);
+// FedMigr with the FLMM-planner policy (the non-learned variant; the DRL
+// variant is assembled in src/core).
+SchemeSetup MakeFedMigrFlmm(int agg_period = 50);
+// Greedy max-divergence matching (ablation oracle, ignores link cost).
+SchemeSetup MakeMaxEmd(int agg_period = 50);
+
+// Factory by name: "fedavg" | "fedprox" | "fedswap" | "randmigr" |
+// "fedmigr-flmm". CHECK-fails on unknown names.
+SchemeSetup MakeSchemeByName(const std::string& name, int agg_period = 50);
+
+}  // namespace fedmigr::fl
+
+#endif  // FEDMIGR_FL_SCHEMES_H_

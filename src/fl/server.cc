@@ -1,0 +1,73 @@
+#include "fl/server.h"
+
+#include "nn/loss.h"
+#include "util/logging.h"
+
+namespace fedmigr::fl {
+
+Server::Server(nn::Sequential global_model, const data::Dataset* test)
+    : global_model_(std::move(global_model)), test_(test) {
+  FEDMIGR_CHECK(test_ != nullptr);
+}
+
+void Server::WeightedAverage(const std::vector<const nn::Sequential*>& models,
+                             const std::vector<double>& weights,
+                             nn::Sequential* out) {
+  FEDMIGR_CHECK(!models.empty());
+  FEDMIGR_CHECK_EQ(models.size(), weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    FEDMIGR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FEDMIGR_CHECK_GT(total, 0.0);
+
+  auto out_params = out->Params();
+  for (nn::Tensor* p : out_params) p->Zero();
+  for (size_t m = 0; m < models.size(); ++m) {
+    const float alpha = static_cast<float>(weights[m] / total);
+    if (alpha == 0.0f) continue;
+    auto in_params = models[m]->Params();
+    FEDMIGR_CHECK_EQ(in_params.size(), out_params.size());
+    for (size_t p = 0; p < out_params.size(); ++p) {
+      out_params[p]->Axpy(alpha, *in_params[p]);
+    }
+  }
+}
+
+void Server::Aggregate(const std::vector<const nn::Sequential*>& models,
+                       const std::vector<double>& weights) {
+  WeightedAverage(models, weights, &global_model_);
+}
+
+Evaluation Server::EvaluateGlobal(int batch_size) const {
+  return Evaluate(global_model_, batch_size);
+}
+
+Evaluation Server::Evaluate(const nn::Sequential& model,
+                            int batch_size) const {
+  Evaluation eval;
+  if (test_->size() == 0) return eval;
+  // Const-cast: Forward caches activations but inference leaves parameters
+  // untouched; we evaluate on a scratch copy to keep the API honest.
+  nn::Sequential scratch = model;
+  data::BatchIterator batches(test_, {}, batch_size, /*rng=*/nullptr);
+  nn::Tensor batch;
+  std::vector<int> labels;
+  double loss_sum = 0.0;
+  double correct = 0.0;
+  int total = 0;
+  while (batches.Next(&batch, &labels)) {
+    const nn::Tensor logits = scratch.Forward(batch, /*training=*/false);
+    const nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+    const int n = static_cast<int>(labels.size());
+    loss_sum += loss.loss * n;
+    correct += nn::Accuracy(logits, labels) * n;
+    total += n;
+  }
+  eval.loss = loss_sum / total;
+  eval.accuracy = correct / total;
+  return eval;
+}
+
+}  // namespace fedmigr::fl

@@ -1,0 +1,50 @@
+// Parameter server: weighted FedAvg aggregation (Eq. 7) and global-model
+// evaluation on the held-out test set.
+
+#ifndef FEDMIGR_FL_SERVER_H_
+#define FEDMIGR_FL_SERVER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace fedmigr::fl {
+
+struct Evaluation {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+class Server {
+ public:
+  // `test` must outlive the server.
+  Server(nn::Sequential global_model, const data::Dataset* test);
+
+  nn::Sequential& global_model() { return global_model_; }
+  const nn::Sequential& global_model() const { return global_model_; }
+
+  // w_g = sum_k (n_k / N) w_k over the given models. `weights` are the n_k
+  // (any non-negative scale); at least one must be positive.
+  void Aggregate(const std::vector<const nn::Sequential*>& models,
+                 const std::vector<double>& weights);
+
+  // Same weighted average into an arbitrary output model; used for the
+  // per-epoch "virtual aggregate" metric without touching server state.
+  static void WeightedAverage(const std::vector<const nn::Sequential*>& models,
+                              const std::vector<double>& weights,
+                              nn::Sequential* out);
+
+  // Evaluates the stored global model on the test set.
+  Evaluation EvaluateGlobal(int batch_size = 64) const;
+  // Evaluates an arbitrary model on the test set.
+  Evaluation Evaluate(const nn::Sequential& model, int batch_size = 64) const;
+
+ private:
+  nn::Sequential global_model_;
+  const data::Dataset* test_;
+};
+
+}  // namespace fedmigr::fl
+
+#endif  // FEDMIGR_FL_SERVER_H_

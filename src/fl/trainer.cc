@@ -1,0 +1,370 @@
+#include "fl/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/distribution.h"
+#include "util/logging.h"
+
+namespace fedmigr::fl {
+
+Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
+                 data::Partition partition, const data::Dataset* test,
+                 net::Topology topology,
+                 std::vector<net::DeviceProfile> devices,
+                 ModelFactory model_factory,
+                 std::unique_ptr<MigrationPolicy> policy)
+    : config_(std::move(config)),
+      train_(train),
+      test_(test),
+      topology_(std::move(topology)),
+      devices_(std::move(devices)),
+      policy_(std::move(policy)),
+      budget_(config_.budget),
+      rng_(config_.seed),
+      pool_(std::max(1, config_.num_threads)) {
+  FEDMIGR_CHECK(train_ != nullptr);
+  FEDMIGR_CHECK(test_ != nullptr);
+  FEDMIGR_CHECK(policy_ != nullptr);
+  const int k = topology_.num_clients();
+  FEDMIGR_CHECK_EQ(static_cast<int>(partition.size()), k);
+  FEDMIGR_CHECK_EQ(static_cast<int>(devices_.size()), k);
+  FEDMIGR_CHECK_GE(config_.agg_period, 1);
+  FEDMIGR_CHECK_GE(config_.tau, 1);
+
+  // Shared initialization: one global model, clones to every client (the
+  // paper's w_k(0) = w_g(0)).
+  util::Rng model_rng = rng_.Split();
+  nn::Sequential global = model_factory(&model_rng);
+  model_bytes_ = global.ByteSize();
+  model_params_ = global.NumParams();
+  server_ = std::make_unique<Server>(global, test_);
+
+  clients_.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    clients_.push_back(std::make_unique<Client>(
+        i, train_, std::move(partition[static_cast<size_t>(i)]),
+        config_.learning_rate, config_.momentum,
+        config_.seed * 1000003ULL + static_cast<uint64_t>(i)));
+    clients_.back()->SetModel(global);
+    clients_.back()->SetProximalReference(global);
+  }
+  model_distributions_.assign(
+      static_cast<size_t>(k),
+      std::vector<double>(static_cast<size_t>(train_->num_classes()), 0.0));
+  model_samples_.assign(static_cast<size_t>(k), 0.0);
+
+  FEDMIGR_CHECK_GT(config_.client_fraction, 0.0);
+  FEDMIGR_CHECK_LE(config_.client_fraction, 1.0);
+  FEDMIGR_CHECK_GE(config_.dropout_prob, 0.0);
+  FEDMIGR_CHECK_LT(config_.dropout_prob, 1.0);
+  participating_.assign(static_cast<size_t>(k), true);
+  available_.assign(static_cast<size_t>(k), true);
+}
+
+void Trainer::ResampleParticipants() {
+  const int k = num_clients();
+  if (config_.client_fraction >= 1.0) {
+    std::fill(participating_.begin(), participating_.end(), true);
+    return;
+  }
+  const int count = std::max(
+      1, static_cast<int>(config_.client_fraction * k + 0.5));
+  std::fill(participating_.begin(), participating_.end(), false);
+  for (int idx : rng_.SampleWithoutReplacement(k, count)) {
+    participating_[static_cast<size_t>(idx)] = true;
+  }
+}
+
+void Trainer::RollAvailability() {
+  for (size_t i = 0; i < available_.size(); ++i) {
+    available_[i] = participating_[i] &&
+                    (config_.dropout_prob == 0.0 ||
+                     !rng_.Bernoulli(config_.dropout_prob));
+  }
+}
+
+void Trainer::ApplyDp(nn::Sequential* model) {
+  if (!config_.dp.enabled()) return;
+  dp::PrivatizeModel(config_.dp, model, &rng_);
+}
+
+double Trainer::LocalUpdatePhase(double* phase_seconds) {
+  const int k = num_clients();
+  LocalUpdateOptions options;
+  options.epochs = config_.tau;
+  options.batch_size = config_.batch_size;
+  options.fedprox_mu = config_.fedprox_mu;
+
+  std::vector<LocalUpdateResult> results(static_cast<size_t>(k));
+  pool_.ParallelFor(k, [&](int i) {
+    if (!available_[static_cast<size_t>(i)]) return;
+    results[static_cast<size_t>(i)] =
+        clients_[static_cast<size_t>(i)]->LocalUpdate(options);
+  });
+
+  double loss_weighted = 0.0;
+  double total_samples = 0.0;
+  double slowest = 0.0;
+  for (int i = 0; i < k; ++i) {
+    if (!available_[static_cast<size_t>(i)]) continue;
+    const auto& res = results[static_cast<size_t>(i)];
+    const double n = static_cast<double>(clients_[static_cast<size_t>(i)]
+                                             ->num_samples());
+    loss_weighted += res.mean_loss * n;
+    total_samples += n;
+    budget_.ConsumeCompute(static_cast<double>(res.samples_processed));
+    slowest = std::max(
+        slowest, net::ComputeSeconds(devices_[static_cast<size_t>(i)],
+                                     res.samples_processed, model_params_));
+    // The resident model absorbs this client's distribution. Clients with
+    // no local data (possible under extreme partitions) change nothing.
+    if (n > 0.0) {
+      auto& dist = model_distributions_[static_cast<size_t>(i)];
+      dist = data::MixDistributions(
+          dist, model_samples_[static_cast<size_t>(i)],
+          clients_[static_cast<size_t>(i)]->label_distribution(), n);
+      model_samples_[static_cast<size_t>(i)] += n;
+    }
+  }
+  budget_.ConsumeTime(slowest);
+  *phase_seconds = slowest;
+  return total_samples > 0.0 ? loss_weighted / total_samples : 0.0;
+}
+
+Evaluation Trainer::AggregationPhase(bool evaluate) {
+  const int k = num_clients();
+  // Upload: every client sends its model over the WAN. A shared WAN
+  // serializes the uploads; independent paths overlap them.
+  // Only the α-selected clients upload and enter the average; the fresh
+  // global model is redistributed to everyone.
+  double upload_seconds = 0.0;
+  for (int i = 0; i < k; ++i) {
+    if (!participating_[static_cast<size_t>(i)]) continue;
+    ApplyDp(&clients_[static_cast<size_t>(i)]->model());
+    const double t =
+        topology_.TransferSeconds(i, net::kServerId, model_bytes_);
+    upload_seconds = config_.wan_shared ? upload_seconds + t
+                                        : std::max(upload_seconds, t);
+    traffic_.Record(i, net::kServerId, model_bytes_);
+    budget_.ConsumeBandwidth(static_cast<double>(model_bytes_));
+  }
+
+  std::vector<const nn::Sequential*> models;
+  std::vector<double> weights;
+  models.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    if (!participating_[static_cast<size_t>(i)]) continue;
+    models.push_back(&clients_[static_cast<size_t>(i)]->model());
+    weights.push_back(
+        static_cast<double>(clients_[static_cast<size_t>(i)]->num_samples()));
+  }
+  server_->Aggregate(models, weights);
+  Evaluation eval;
+  if (evaluate) eval = server_->EvaluateGlobal(config_.batch_size * 2);
+
+  // Distribution: global model back to every client.
+  double download_seconds = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const double t =
+        topology_.TransferSeconds(net::kServerId, i, model_bytes_);
+    download_seconds = config_.wan_shared ? download_seconds + t
+                                          : std::max(download_seconds, t);
+    traffic_.Record(net::kServerId, i, model_bytes_);
+    budget_.ConsumeBandwidth(static_cast<double>(model_bytes_));
+    clients_[static_cast<size_t>(i)]->SetModel(server_->global_model());
+    clients_[static_cast<size_t>(i)]->SetProximalReference(
+        server_->global_model());
+  }
+  budget_.ConsumeTime(upload_seconds + download_seconds);
+
+  // Fresh replicas: provenance resets.
+  for (int i = 0; i < k; ++i) {
+    std::fill(model_distributions_[static_cast<size_t>(i)].begin(),
+              model_distributions_[static_cast<size_t>(i)].end(), 0.0);
+    model_samples_[static_cast<size_t>(i)] = 0.0;
+  }
+  return eval;
+}
+
+int Trainer::MigrationPhase(int epoch, double loss) {
+  const int k = num_clients();
+  std::vector<std::vector<double>> client_dists;
+  client_dists.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    client_dists.push_back(clients_[static_cast<size_t>(i)]
+                               ->label_distribution());
+  }
+
+  PolicyContext ctx;
+  ctx.epoch = epoch;
+  ctx.topology = &topology_;
+  ctx.model_bytes = model_bytes_;
+  ctx.client_distributions = &client_dists;
+  ctx.model_distributions = &model_distributions_;
+  ctx.global_loss = loss;
+  ctx.budget = &budget_;
+  ctx.rng = &rng_;
+
+  MigrationPlan plan = policy_->Plan(ctx);
+  FEDMIGR_CHECK_EQ(static_cast<int>(plan.incoming.size()), k);
+  // Unavailable clients neither send nor receive this epoch.
+  for (int j = 0; j < k; ++j) {
+    const int src = plan.incoming[static_cast<size_t>(j)];
+    if (src != j && (!available_[static_cast<size_t>(j)] ||
+                     !available_[static_cast<size_t>(src)])) {
+      plan.incoming[static_cast<size_t>(j)] = j;
+    }
+  }
+  if (plan.IsIdentity()) return 0;
+
+  // DP noise is added before a model leaves its client.
+  if (config_.dp.enabled()) {
+    for (size_t j = 0; j < plan.incoming.size(); ++j) {
+      const int src = plan.incoming[j];
+      if (src != static_cast<int>(j)) {
+        ApplyDp(&clients_[static_cast<size_t>(src)]->model());
+      }
+    }
+  }
+
+  const MigrationCost cost =
+      CostAndRecord(plan, topology_, model_bytes_, &traffic_);
+  budget_.ConsumeBandwidth(static_cast<double>(cost.bytes));
+  budget_.ConsumeTime(cost.seconds);
+
+  // Move the replicas (and their provenance) according to the plan.
+  std::vector<nn::Sequential> snapshot;
+  snapshot.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    snapshot.push_back(clients_[static_cast<size_t>(i)]->model());
+  }
+  const auto dist_snapshot = model_distributions_;
+  const auto samples_snapshot = model_samples_;
+  for (int j = 0; j < k; ++j) {
+    const int src = plan.incoming[static_cast<size_t>(j)];
+    if (src == j) continue;
+    clients_[static_cast<size_t>(j)]->SetModel(
+        snapshot[static_cast<size_t>(src)]);
+    model_distributions_[static_cast<size_t>(j)] =
+        dist_snapshot[static_cast<size_t>(src)];
+    model_samples_[static_cast<size_t>(j)] =
+        samples_snapshot[static_cast<size_t>(src)];
+  }
+  return cost.num_moves;
+}
+
+Evaluation Trainer::VirtualEvaluation() {
+  const int k = num_clients();
+  std::vector<const nn::Sequential*> models;
+  std::vector<double> weights;
+  for (int i = 0; i < k; ++i) {
+    models.push_back(&clients_[static_cast<size_t>(i)]->model());
+    weights.push_back(
+        static_cast<double>(clients_[static_cast<size_t>(i)]->num_samples()));
+  }
+  nn::Sequential aggregate = server_->global_model();
+  Server::WeightedAverage(models, weights, &aggregate);
+  return server_->Evaluate(aggregate, config_.batch_size * 2);
+}
+
+RunResult Trainer::Run() {
+  RunResult result;
+  result.scheme = config_.scheme_name;
+  double last_accuracy = 0.0;
+  double last_test_loss = 0.0;
+  double previous_loss = -1.0;
+
+  for (int epoch = 1; epoch <= config_.max_epochs; ++epoch) {
+    EpochRecord record;
+    record.epoch = epoch;
+
+    // A new global iteration starts right after each aggregation.
+    if ((epoch - 1) % config_.agg_period == 0) ResampleParticipants();
+    RollAvailability();
+
+    double compute_before = budget_.compute_used();
+    double bandwidth_before = budget_.bandwidth_used();
+
+    double phase_seconds = 0.0;
+    record.train_loss = LocalUpdatePhase(&phase_seconds);
+
+    const bool aggregate_now = (epoch % config_.agg_period == 0) ||
+                               (epoch == config_.max_epochs);
+    const bool evaluate_now =
+        config_.eval_every > 0 && (epoch % config_.eval_every == 0 ||
+                                   epoch == config_.max_epochs);
+    if (aggregate_now) {
+      const Evaluation eval = AggregationPhase(evaluate_now);
+      if (evaluate_now) {
+        last_accuracy = eval.accuracy;
+        last_test_loss = eval.loss;
+      }
+      record.aggregated = true;
+    } else {
+      record.migrations = MigrationPhase(epoch, record.train_loss);
+      if (evaluate_now) {
+        const Evaluation eval = VirtualEvaluation();
+        last_accuracy = eval.accuracy;
+        last_test_loss = eval.loss;
+      }
+    }
+
+    record.test_accuracy = last_accuracy;
+    record.test_loss = last_test_loss;
+    record.cumulative_time_s = budget_.time_used();
+    record.cumulative_traffic_gb =
+        static_cast<double>(traffic_.total_bytes()) / 1e9;
+    result.history.push_back(record);
+
+    result.best_accuracy = std::max(result.best_accuracy, last_accuracy);
+    result.epochs_run = epoch;
+
+    // Reward feedback for learned policies.
+    PolicyFeedback feedback;
+    feedback.epoch = epoch;
+    feedback.loss_before =
+        previous_loss < 0.0 ? record.train_loss : previous_loss;
+    feedback.loss_after = record.train_loss;
+    const double cb = budget_.compute_budget();
+    const double bb = budget_.bandwidth_budget();
+    feedback.compute_cost_fraction =
+        std::isinf(cb) ? 0.0 : (budget_.compute_used() - compute_before) / cb;
+    feedback.bandwidth_cost_fraction =
+        std::isinf(bb) ? 0.0
+                       : (budget_.bandwidth_used() - bandwidth_before) / bb;
+    previous_loss = record.train_loss;
+
+    const bool target_hit = config_.target_accuracy > 0.0 &&
+                            last_accuracy >= config_.target_accuracy;
+    if (target_hit && !result.reached_target) {
+      result.reached_target = true;
+      result.epochs_to_target = epoch;
+      result.time_to_target_s = budget_.time_used();
+      result.traffic_to_target_gb =
+          static_cast<double>(traffic_.total_bytes()) / 1e9;
+    }
+    const bool exhausted = budget_.Exhausted();
+    const bool done =
+        target_hit || exhausted || epoch == config_.max_epochs;
+    feedback.done = done;
+    feedback.success = done && !exhausted;
+    policy_->Feedback(feedback);
+
+    if (target_hit || exhausted) {
+      result.budget_exhausted = exhausted;
+      break;
+    }
+  }
+
+  result.final_accuracy = last_accuracy;
+  result.time_s = budget_.time_used();
+  result.compute_units = budget_.compute_used();
+  result.traffic_gb = static_cast<double>(traffic_.total_bytes()) / 1e9;
+  result.c2s_gb = traffic_.c2s_gb();
+  result.c2c_gb = traffic_.c2c_gb();
+  result.traffic = traffic_;
+  return result;
+}
+
+}  // namespace fedmigr::fl

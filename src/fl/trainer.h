@@ -1,0 +1,171 @@
+// The FL experiment loop.
+//
+// One Trainer instance runs one scheme over one dataset/partition/topology
+// and produces a RunResult with the full metric history. All five schemes
+// of the paper are expressed through the same loop:
+//   FedAvg   — agg_period = 1, NoMigrationPolicy
+//   FedProx  — agg_period = 1, NoMigrationPolicy, fedprox_mu > 0
+//   FedSwap  — agg_period = M+1, FedSwapPolicy (via-server exchange)
+//   RandMigr — agg_period = M+1, RandomMigrationPolicy
+//   FedMigr  — agg_period = M+1, DrlMigrationPolicy (src/rl) or FlmmPolicy
+//
+// Epoch structure follows Section II-B: every epoch is one Local Updating
+// pass (τ local epochs on every client); on aggregation epochs the models
+// travel to the PS and back (C2S traffic over the WAN), on the remaining
+// epochs the active policy migrates models directly between clients (C2C).
+
+#ifndef FEDMIGR_FL_TRAINER_H_
+#define FEDMIGR_FL_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "dp/gaussian.h"
+#include "fl/client.h"
+#include "fl/policies.h"
+#include "fl/server.h"
+#include "net/budget.h"
+#include "net/device.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "util/thread_pool.h"
+
+namespace fedmigr::fl {
+
+struct TrainerConfig {
+  std::string scheme_name = "fedavg";
+  int max_epochs = 200;
+  // Aggregate every `agg_period` epochs; the paper's M = agg_period - 1
+  // migrations per global iteration ("agg50" = agg_period 50).
+  int agg_period = 1;
+  int tau = 1;  // local epochs per Local Updating phase
+  int batch_size = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.0;
+  double fedprox_mu = 0.0;
+  // Fraction α of clients selected per global iteration (Sec. II-A's
+  // FedAvg knob). 1.0 = all clients, the paper's evaluation setting.
+  double client_fraction = 1.0;
+  // Per-epoch probability that a client is unavailable (edge nodes
+  // "dynamically join/leave the system", Sec. III-C). An unavailable
+  // client skips local updating and neither sends nor receives migrations
+  // that epoch.
+  double dropout_prob = 0.0;
+  // Target test accuracy in [0, 1]; <= 0 disables early stopping.
+  double target_accuracy = -1.0;
+  // Evaluate the (virtual) global model every this many epochs.
+  int eval_every = 5;
+  net::Budget budget;  // default: unlimited
+  dp::DpConfig dp;
+  // When the WAN to the server is shared, uploads serialize; when false,
+  // each client has an independent WAN path.
+  bool wan_shared = true;
+  uint64_t seed = 1;
+  // Client-parallel local updating. Worth raising only on multi-core hosts.
+  int num_threads = 1;
+};
+
+struct EpochRecord {
+  int epoch = 0;
+  double train_loss = 0.0;
+  // Test metrics are only refreshed on eval epochs; in between the last
+  // value is carried forward.
+  double test_accuracy = 0.0;
+  double test_loss = 0.0;
+  double cumulative_time_s = 0.0;
+  double cumulative_traffic_gb = 0.0;
+  bool aggregated = false;
+  int migrations = 0;
+};
+
+struct RunResult {
+  std::string scheme;
+  std::vector<EpochRecord> history;
+  double final_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  int epochs_run = 0;
+  double time_s = 0.0;
+  // Total training samples processed (the compute-budget unit).
+  double compute_units = 0.0;
+  double traffic_gb = 0.0;
+  double c2s_gb = 0.0;
+  double c2c_gb = 0.0;
+  bool reached_target = false;
+  int epochs_to_target = -1;
+  double time_to_target_s = -1.0;
+  double traffic_to_target_gb = -1.0;
+  bool budget_exhausted = false;
+  // Full per-link accounting, for the Fig. 8 link-frequency analysis.
+  net::TrafficAccountant traffic;
+};
+
+class Trainer {
+ public:
+  using ModelFactory = std::function<nn::Sequential(util::Rng*)>;
+
+  // `train` and `test` must outlive the trainer. `partition[k]` is client
+  // k's index list; partition size, topology client count and device count
+  // must agree.
+  Trainer(TrainerConfig config, const data::Dataset* train,
+          data::Partition partition, const data::Dataset* test,
+          net::Topology topology, std::vector<net::DeviceProfile> devices,
+          ModelFactory model_factory,
+          std::unique_ptr<MigrationPolicy> policy);
+
+  // Runs the configured number of epochs (or until the target accuracy /
+  // budget stop) and returns the collected metrics.
+  RunResult Run();
+
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+
+ private:
+  // One Local Updating phase across all clients; returns weighted mean loss
+  // and advances time/compute budgets.
+  double LocalUpdatePhase(double* phase_seconds);
+  // Uploads, aggregates, redistributes; evaluates only when `evaluate` is
+  // set (evaluation is measurement, not simulation, and is the dominant
+  // cost for schemes that aggregate every epoch).
+  Evaluation AggregationPhase(bool evaluate);
+  // Plans and executes one migration round; returns number of moves.
+  int MigrationPhase(int epoch, double loss);
+  // Weighted average of current local models, evaluated on the test set
+  // (measurement only; no traffic is charged).
+  Evaluation VirtualEvaluation();
+
+  void ApplyDp(nn::Sequential* model);
+
+  TrainerConfig config_;
+  const data::Dataset* train_;
+  const data::Dataset* test_;
+  net::Topology topology_;
+  std::vector<net::DeviceProfile> devices_;
+  std::unique_ptr<MigrationPolicy> policy_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<Server> server_;
+  net::Budget budget_;
+  net::TrafficAccountant traffic_;
+  util::Rng rng_;
+  util::ThreadPool pool_;
+  int64_t model_bytes_ = 0;
+  int64_t model_params_ = 0;
+
+  // Per-slot model provenance: the label distribution the resident model
+  // has accumulated since the last aggregation, and its sample weight.
+  std::vector<std::vector<double>> model_distributions_;
+  std::vector<double> model_samples_;
+
+  // Participation state: the α-sample for the current global iteration and
+  // this epoch's availability (participation minus dropouts).
+  std::vector<bool> participating_;
+  std::vector<bool> available_;
+  void ResampleParticipants();
+  void RollAvailability();
+};
+
+}  // namespace fedmigr::fl
+
+#endif  // FEDMIGR_FL_TRAINER_H_

@@ -1,0 +1,53 @@
+#include "net/device.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fedmigr::net {
+
+DeviceProfile MakeProfile(DeviceType type) {
+  DeviceProfile profile;
+  profile.type = type;
+  switch (type) {
+    case DeviceType::kJetsonTx2:
+      profile.samples_per_second = 150.0;
+      break;
+    case DeviceType::kXavierNx:
+      profile.samples_per_second = 280.0;
+      break;
+    case DeviceType::kWorkstation:
+      profile.samples_per_second = 2000.0;
+      break;
+  }
+  return profile;
+}
+
+double ComputeSeconds(const DeviceProfile& device, int64_t num_samples,
+                      int64_t model_params, int64_t reference_params) {
+  FEDMIGR_CHECK_GT(device.samples_per_second, 0.0);
+  FEDMIGR_CHECK_GT(reference_params, 0);
+  const double cost_factor = std::max(
+      0.1, static_cast<double>(model_params) / reference_params);
+  return static_cast<double>(num_samples) * cost_factor /
+         device.samples_per_second;
+}
+
+std::vector<DeviceProfile> MakeTestbedFleet(int num_clients) {
+  std::vector<DeviceProfile> fleet;
+  fleet.reserve(num_clients);
+  for (int i = 0; i < num_clients; ++i) {
+    fleet.push_back(MakeProfile(i % 2 == 0 ? DeviceType::kJetsonTx2
+                                           : DeviceType::kXavierNx));
+  }
+  return fleet;
+}
+
+std::vector<DeviceProfile> MakeUniformFleet(int num_clients,
+                                            double samples_per_second) {
+  std::vector<DeviceProfile> fleet(static_cast<size_t>(num_clients));
+  for (auto& device : fleet) device.samples_per_second = samples_per_second;
+  return fleet;
+}
+
+}  // namespace fedmigr::net

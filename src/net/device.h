@@ -1,0 +1,46 @@
+// Heterogeneous device compute model.
+//
+// The paper's testbed mixes NVIDIA Jetson TX2 and Xavier NX workers (plus a
+// GPU workstation server). We model a device by its training throughput in
+// processed samples per second, scaled by a per-model cost factor
+// proportional to parameter count, so larger models train slower — the same
+// first-order behaviour the testbed exhibits.
+
+#ifndef FEDMIGR_NET_DEVICE_H_
+#define FEDMIGR_NET_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fedmigr::net {
+
+enum class DeviceType {
+  kJetsonTx2,
+  kXavierNx,
+  kWorkstation,
+};
+
+struct DeviceProfile {
+  DeviceType type = DeviceType::kJetsonTx2;
+  // Mini-batch samples processed per second for the reference model size.
+  double samples_per_second = 200.0;
+};
+
+DeviceProfile MakeProfile(DeviceType type);
+
+// Seconds to run `num_samples` training samples of a model with
+// `model_params` parameters on this device. `reference_params` anchors the
+// cost factor (the C10 CNN's size).
+double ComputeSeconds(const DeviceProfile& device, int64_t num_samples,
+                      int64_t model_params,
+                      int64_t reference_params = 10000);
+
+// The paper's testbed fleet: alternating TX2 / NX assignment.
+std::vector<DeviceProfile> MakeTestbedFleet(int num_clients);
+// Homogeneous simulation fleet.
+std::vector<DeviceProfile> MakeUniformFleet(int num_clients,
+                                            double samples_per_second = 200.0);
+
+}  // namespace fedmigr::net
+
+#endif  // FEDMIGR_NET_DEVICE_H_

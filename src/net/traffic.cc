@@ -1,0 +1,58 @@
+#include "net/traffic.h"
+
+#include <algorithm>
+
+#include "net/topology.h"
+#include "util/logging.h"
+
+namespace fedmigr::net {
+
+std::pair<int, int> TrafficAccountant::Key(int a, int b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+void TrafficAccountant::Record(int src, int dst, int64_t bytes) {
+  FEDMIGR_CHECK_GE(bytes, 0);
+  FEDMIGR_CHECK_NE(src, dst);
+  ++num_transfers_;
+  if (src == kServerId || dst == kServerId) {
+    c2s_bytes_ += bytes;
+  } else {
+    c2c_bytes_ += bytes;
+  }
+  const auto key = Key(src, dst);
+  link_counts_[key] += 1;
+  link_bytes_[key] += bytes;
+}
+
+double TrafficAccountant::total_gb() const {
+  return static_cast<double>(total_bytes()) / 1e9;
+}
+
+double TrafficAccountant::c2s_gb() const {
+  return static_cast<double>(c2s_bytes_) / 1e9;
+}
+
+double TrafficAccountant::c2c_gb() const {
+  return static_cast<double>(c2c_bytes_) / 1e9;
+}
+
+int64_t TrafficAccountant::LinkCount(int a, int b) const {
+  const auto it = link_counts_.find(Key(a, b));
+  return it == link_counts_.end() ? 0 : it->second;
+}
+
+int64_t TrafficAccountant::LinkBytes(int a, int b) const {
+  const auto it = link_bytes_.find(Key(a, b));
+  return it == link_bytes_.end() ? 0 : it->second;
+}
+
+void TrafficAccountant::Reset() {
+  c2s_bytes_ = 0;
+  c2c_bytes_ = 0;
+  num_transfers_ = 0;
+  link_counts_.clear();
+  link_bytes_.clear();
+}
+
+}  // namespace fedmigr::net

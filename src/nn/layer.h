@@ -1,0 +1,47 @@
+// Abstract layer interface for the sequential networks used by all FL
+// schemes and the DRL agent.
+//
+// Layers own their parameters and gradient buffers; a forward pass caches
+// whatever the matching backward pass needs. Training is single-threaded per
+// model instance (each simulated client owns its model), so no locking.
+
+#ifndef FEDMIGR_NN_LAYER_H_
+#define FEDMIGR_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace fedmigr::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes the layer output. `training` toggles train-only behaviour
+  // (e.g., dropout); inference passes false.
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  // Computes the gradient w.r.t. the layer input given the gradient w.r.t.
+  // the output of the most recent Forward(). Accumulates parameter
+  // gradients into the buffers returned by Grads().
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  // Trainable parameters / matching gradient buffers. Empty for stateless
+  // layers. Order is stable and identical between the two lists.
+  virtual std::vector<Tensor*> Params() { return {}; }
+  virtual std::vector<Tensor*> Grads() { return {}; }
+
+  // Human-readable layer tag for debugging and serialization checks.
+  virtual std::string name() const = 0;
+
+  // Deep copy (parameters included, caches excluded). Used when a model is
+  // distributed to or migrated between simulated clients.
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+};
+
+}  // namespace fedmigr::nn
+
+#endif  // FEDMIGR_NN_LAYER_H_

@@ -1,0 +1,45 @@
+// Core numeric kernels shared by the layers: GEMM-style matrix products and
+// the convolution / pooling forward & backward passes.
+//
+// The kernels are plain loop nests with register blocking where it matters
+// (matmul inner loops). Model sizes in the FedMigr experiments are small
+// (tens of thousands to a few million parameters), so clarity wins over
+// vendor-BLAS-grade tuning.
+
+#ifndef FEDMIGR_NN_OPS_H_
+#define FEDMIGR_NN_OPS_H_
+
+#include "nn/tensor.h"
+
+namespace fedmigr::nn {
+
+// C = A(MxK) * B(KxN).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// C = A^T(KxM -> MxK view) * B(KxN): used for weight gradients.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+// C = A(MxK) * B^T(NxK -> KxN view): used for input gradients.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+// 2-D convolution, NCHW layout, stride 1, symmetric zero padding.
+//   input  [N, Cin, H, W]
+//   kernel [Cout, Cin, Kh, Kw]
+//   bias   [Cout]
+//   output [N, Cout, H + 2*pad - Kh + 1, W + 2*pad - Kw + 1]
+Tensor Conv2dForward(const Tensor& input, const Tensor& kernel,
+                     const Tensor& bias, int pad);
+
+// Gradients of Conv2dForward. grad_output has the forward output's shape.
+void Conv2dBackward(const Tensor& input, const Tensor& kernel, int pad,
+                    const Tensor& grad_output, Tensor* grad_input,
+                    Tensor* grad_kernel, Tensor* grad_bias);
+
+// 2x2 max pooling with stride 2 (the only pooling the paper's models use).
+// `argmax` (same shape as output) records the flat input offset of each
+// selected element for the backward pass.
+Tensor MaxPool2x2Forward(const Tensor& input, Tensor* argmax);
+Tensor MaxPool2x2Backward(const Tensor& grad_output, const Tensor& argmax,
+                          const Shape& input_shape);
+
+}  // namespace fedmigr::nn
+
+#endif  // FEDMIGR_NN_OPS_H_

@@ -1,0 +1,61 @@
+// First-order optimizers. SGD (optionally with momentum) drives FL local
+// updating, as in the paper; Adam trains the DDPG actor/critic.
+
+#ifndef FEDMIGR_NN_OPTIMIZER_H_
+#define FEDMIGR_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/sequential.h"
+#include "nn/tensor.h"
+
+namespace fedmigr::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the model's current gradients, then leaves the
+  // gradients untouched (callers ZeroGrads() between mini-batches).
+  virtual void Step(Sequential* model) = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0,
+               double weight_decay = 0.0);
+
+  void Step(Sequential* model) override;
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  double weight_decay_;
+  // Velocity buffers, lazily sized to the first model seen. Keyed by
+  // parameter position; an optimizer instance serves one model.
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  void Step(Sequential* model) override;
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace fedmigr::nn
+
+#endif  // FEDMIGR_NN_OPTIMIZER_H_

@@ -1,0 +1,66 @@
+// Sequential model container: the trainable unit that FL clients hold,
+// migrate and the server aggregates.
+
+#ifndef FEDMIGR_NN_SEQUENTIAL_H_
+#define FEDMIGR_NN_SEQUENTIAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/tensor.h"
+
+namespace fedmigr::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  Sequential(const Sequential& other) { *this = other; }
+  Sequential& operator=(const Sequential& other);
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  // Appends a layer; returns *this for fluent construction.
+  Sequential& Add(std::unique_ptr<Layer> layer);
+
+  Tensor Forward(const Tensor& input, bool training = true);
+  // Backpropagates through all layers; returns gradient w.r.t. the input.
+  Tensor Backward(const Tensor& grad_output);
+
+  // Flattened parameter/gradient views across layers (stable order).
+  std::vector<Tensor*> Params();
+  std::vector<Tensor*> Grads();
+  std::vector<const Tensor*> Params() const;
+
+  void ZeroGrads();
+
+  // Total number of scalar parameters.
+  int64_t NumParams() const;
+  // Serialized size in bytes (what the network simulator charges per model
+  // transfer): 4 bytes per parameter.
+  int64_t ByteSize() const { return NumParams() * 4; }
+
+  // Overwrites this model's parameters with `other`'s. Architectures must
+  // match (same parameter tensor shapes).
+  void CopyParamsFrom(const Sequential& other);
+
+  // this_params = this_params * (1 - alpha) + other_params * alpha.
+  void LerpParamsFrom(const Sequential& other, float alpha);
+
+  // L2 norm over the whole parameter vector.
+  double ParamNorm() const;
+  // L2 distance between two models' parameter vectors.
+  static double ParamDistance(const Sequential& a, const Sequential& b);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int i) { return *layers_[static_cast<size_t>(i)]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace fedmigr::nn
+
+#endif  // FEDMIGR_NN_SEQUENTIAL_H_

@@ -1,0 +1,89 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace fedmigr::nn {
+
+std::vector<float> FlattenParams(const Sequential& model) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(model.NumParams()));
+  for (const Tensor* p : model.Params()) {
+    flat.insert(flat.end(), p->data(), p->data() + p->size());
+  }
+  return flat;
+}
+
+util::Status UnflattenParams(const std::vector<float>& flat,
+                             Sequential* model) {
+  if (static_cast<int64_t>(flat.size()) != model->NumParams()) {
+    return util::Status::InvalidArgument(
+        "parameter count mismatch: got " + std::to_string(flat.size()) +
+        ", model has " + std::to_string(model->NumParams()));
+  }
+  size_t offset = 0;
+  for (Tensor* p : model->Params()) {
+    std::memcpy(p->data(), flat.data() + offset,
+                static_cast<size_t>(p->size()) * sizeof(float));
+    offset += static_cast<size_t>(p->size());
+  }
+  return util::Status::Ok();
+}
+
+std::vector<uint8_t> SerializeParams(const Sequential& model) {
+  const std::vector<float> flat = FlattenParams(model);
+  const uint64_t count = flat.size();
+  std::vector<uint8_t> bytes(sizeof(uint64_t) + flat.size() * sizeof(float));
+  std::memcpy(bytes.data(), &count, sizeof(uint64_t));
+  std::memcpy(bytes.data() + sizeof(uint64_t), flat.data(),
+              flat.size() * sizeof(float));
+  return bytes;
+}
+
+util::Status DeserializeParams(const std::vector<uint8_t>& bytes,
+                               Sequential* model) {
+  if (bytes.size() < sizeof(uint64_t)) {
+    return util::Status::InvalidArgument("buffer too small for header");
+  }
+  uint64_t count = 0;
+  std::memcpy(&count, bytes.data(), sizeof(uint64_t));
+  if (bytes.size() != sizeof(uint64_t) + count * sizeof(float)) {
+    return util::Status::InvalidArgument("buffer size does not match header");
+  }
+  std::vector<float> flat(count);
+  std::memcpy(flat.data(), bytes.data() + sizeof(uint64_t),
+              count * sizeof(float));
+  return UnflattenParams(flat, model);
+}
+
+util::Status SaveCheckpoint(const Sequential& model,
+                            const std::string& path) {
+  const std::vector<uint8_t> bytes = SerializeParams(model);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::NotFound("cannot open for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  return util::Status::Ok();
+}
+
+util::Status LoadCheckpoint(const std::string& path, Sequential* model) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return util::Status::NotFound("cannot open for reading: " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) {
+    return util::Status::Internal("read failed: " + path);
+  }
+  return DeserializeParams(bytes, model);
+}
+
+}  // namespace fedmigr::nn

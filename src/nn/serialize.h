@@ -1,0 +1,41 @@
+// Parameter (de)serialization.
+//
+// Model transfers in the simulator are charged by serialized byte size, and
+// the DP module perturbs serialized parameter vectors; both go through the
+// flat little-endian float encoding defined here.
+
+#ifndef FEDMIGR_NN_SERIALIZE_H_
+#define FEDMIGR_NN_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "util/status.h"
+
+namespace fedmigr::nn {
+
+// Flattens all parameters into one float vector (stable layer order).
+std::vector<float> FlattenParams(const Sequential& model);
+
+// Writes a flat float vector back into the model's parameters. Fails if the
+// element count does not match.
+util::Status UnflattenParams(const std::vector<float>& flat,
+                             Sequential* model);
+
+// Byte-level encoding: [uint64 count][count * float32]. This is the payload
+// the network simulator meters.
+std::vector<uint8_t> SerializeParams(const Sequential& model);
+util::Status DeserializeParams(const std::vector<uint8_t>& bytes,
+                               Sequential* model);
+
+// Checkpointing: writes/reads the byte encoding above to a file. Loading
+// requires a model of the same architecture (same parameter count).
+util::Status SaveCheckpoint(const Sequential& model,
+                            const std::string& path);
+util::Status LoadCheckpoint(const std::string& path, Sequential* model);
+
+}  // namespace fedmigr::nn
+
+#endif  // FEDMIGR_NN_SERIALIZE_H_

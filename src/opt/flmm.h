@@ -1,0 +1,50 @@
+// Relaxed FLMM migration planner (the ρ-greedy exploration oracle and the
+// Fig. 6 S-COP baseline).
+//
+// Builds a per-pair migration score from the data-divergence matrix D and
+// the communication cost of each link, relaxes the integer program to a
+// row-stochastic QP, solves by projected gradient, and rounds the fractional
+// solution to a one-to-one destination assignment with the Hungarian
+// algorithm.
+
+#ifndef FEDMIGR_OPT_FLMM_H_
+#define FEDMIGR_OPT_FLMM_H_
+
+#include <vector>
+
+#include "net/topology.h"
+#include "opt/qp.h"
+
+namespace fedmigr::opt {
+
+struct FlmmOptions {
+  // Weight of the communication-time penalty relative to divergence gain.
+  double comm_weight = 0.5;
+  // Self-migration (staying put) score; keeping a model local costs nothing
+  // but gains nothing, so its score is 0 by construction.
+  QpOptions qp;
+};
+
+// Migration score for sending client i's model to client j:
+//   score_ij = D_ij - comm_weight * normalized_transfer_time(i, j).
+// score_ii = 0. Transfer times are normalized by the slowest pair so the two
+// terms are on comparable scales.
+Matrix BuildMigrationScore(const std::vector<std::vector<double>>& divergence,
+                           const net::Topology& topology, int64_t model_bytes,
+                           double comm_weight);
+
+struct FlmmPlan {
+  std::vector<int> destination;  // destination[i] = j (j == i means stay)
+  Matrix fractional;             // relaxed QP solution
+  double objective = 0.0;
+  int qp_iterations = 0;
+};
+
+// Full pipeline: score -> relaxed QP -> Hungarian rounding.
+FlmmPlan SolveFlmm(const std::vector<std::vector<double>>& divergence,
+                   const net::Topology& topology, int64_t model_bytes,
+                   const FlmmOptions& options);
+
+}  // namespace fedmigr::opt
+
+#endif  // FEDMIGR_OPT_FLMM_H_

@@ -1,0 +1,46 @@
+// Projected-gradient solver for QPs over row-stochastic matrices.
+//
+// This is the "S-COP" component of the paper: the integer FLMM program
+// (Eq. 16) is relaxed so each row of the migration matrix P lives on the
+// probability simplex, the relaxed objective is a convex quadratic, and the
+// solver is plain projected gradient descent (our stand-in for CVX).
+//
+// Objective (maximization, internally negated):
+//   sum_ij P_ij * score_ij  -  (load_weight / 2) * sum_j (col_j(P))^2
+// The linear term rewards high-score destinations; the quadratic column-load
+// term discourages piling every model onto one destination, which is what
+// makes the relaxation round well to a one-to-one assignment.
+
+#ifndef FEDMIGR_OPT_QP_H_
+#define FEDMIGR_OPT_QP_H_
+
+#include <vector>
+
+namespace fedmigr::opt {
+
+using Matrix = std::vector<std::vector<double>>;
+
+struct QpOptions {
+  int max_iterations = 200;
+  double step_size = 0.05;
+  // Stop when the iterate moves less than this (Frobenius norm).
+  double tolerance = 1e-7;
+  double load_weight = 1.0;
+};
+
+struct QpResult {
+  Matrix solution;      // row-stochastic K x K
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+// Maximizes the objective above over row-stochastic matrices.
+QpResult SolveRowStochasticQp(const Matrix& score, const QpOptions& options);
+
+// Objective value of a candidate (used by tests and the rounding step).
+double RowStochasticQpObjective(const Matrix& score, const Matrix& p,
+                                double load_weight);
+
+}  // namespace fedmigr::opt
+
+#endif  // FEDMIGR_OPT_QP_H_

@@ -1,0 +1,237 @@
+#include "rl/agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/zoo.h"
+#include "util/logging.h"
+
+namespace fedmigr::rl {
+
+namespace {
+
+nn::Tensor RowsToTensor(const std::vector<std::vector<float>>& rows) {
+  FEDMIGR_CHECK(!rows.empty());
+  const int k = static_cast<int>(rows.size());
+  const int f = static_cast<int>(rows[0].size());
+  nn::Tensor tensor({k, f});
+  for (int i = 0; i < k; ++i) {
+    FEDMIGR_CHECK_EQ(static_cast<int>(rows[static_cast<size_t>(i)].size()), f);
+    for (int j = 0; j < f; ++j) {
+      tensor.At(i, j) = rows[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+  }
+  return tensor;
+}
+
+std::vector<double> SoftmaxMasked(const std::vector<double>& scores,
+                                  const std::vector<bool>& mask) {
+  FEDMIGR_CHECK_EQ(scores.size(), mask.size());
+  double max_score = -1e300;
+  bool any = false;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (mask[i]) {
+      max_score = std::max(max_score, scores[i]);
+      any = true;
+    }
+  }
+  FEDMIGR_CHECK(any) << "all actions masked";
+  std::vector<double> probs(scores.size(), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!mask[i]) continue;
+    probs[i] = std::exp(scores[i] - max_score);
+    total += probs[i];
+  }
+  for (auto& p : probs) p /= total;
+  return probs;
+}
+
+}  // namespace
+
+DdpgAgent::DdpgAgent(const AgentConfig& config) : config_(config) {
+  util::Rng rng(config_.seed);
+  const std::vector<int> dims = {kActionFeatureDim, config_.hidden,
+                                 config_.hidden, 1};
+  actor_ = nn::MakeMlp(dims, /*softmax_output=*/false, &rng);
+  critic_ = nn::MakeMlp(dims, /*softmax_output=*/false, &rng);
+  target_actor_ = actor_;
+  target_critic_ = critic_;
+  actor_optimizer_ = std::make_unique<nn::Adam>(config_.actor_lr);
+  critic_optimizer_ = std::make_unique<nn::Adam>(config_.critic_lr);
+}
+
+std::vector<double> DdpgAgent::ForwardColumn(
+    nn::Sequential* model, const std::vector<std::vector<float>>& rows) {
+  const nn::Tensor out = model->Forward(RowsToTensor(rows), /*training=*/false);
+  std::vector<double> column(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    column[i] = out[static_cast<int64_t>(i)];
+  }
+  return column;
+}
+
+std::vector<double> DdpgAgent::Score(
+    const std::vector<std::vector<float>>& candidates, bool use_target) {
+  return ForwardColumn(use_target ? &target_actor_ : &actor_, candidates);
+}
+
+std::vector<double> DdpgAgent::Policy(
+    const std::vector<std::vector<float>>& candidates,
+    const std::vector<bool>& mask) {
+  return SoftmaxMasked(Score(candidates), mask);
+}
+
+int DdpgAgent::SelectAction(const std::vector<std::vector<float>>& candidates,
+                            const std::vector<bool>& mask, bool explore,
+                            util::Rng* rng) {
+  const std::vector<double> probs = Policy(candidates, mask);
+  if (explore) {
+    return rng->Categorical(probs);
+  }
+  int best = -1;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (!mask[i]) continue;
+    if (best < 0 || probs[i] > probs[static_cast<size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+double DdpgAgent::Q(const std::vector<float>& features, bool use_target) {
+  return ForwardColumn(use_target ? &target_critic_ : &critic_, {features})[0];
+}
+
+TrainStats DdpgAgent::Train(PrioritizedReplayBuffer* buffer, util::Rng* rng) {
+  TrainStats stats;
+  if (buffer->size() < static_cast<size_t>(config_.batch_size)) return stats;
+
+  const auto batch = buffer->Sample(
+      static_cast<size_t>(config_.batch_size), rng);
+
+  critic_.ZeroGrads();
+  actor_.ZeroGrads();
+  double critic_loss = 0.0;
+  double td_sum = 0.0;
+  double q_sum = 0.0;
+
+  for (const auto& sample : batch) {
+    const Transition& z = *sample.transition;
+    const float weight = static_cast<float>(sample.weight);
+
+    // --- Target value h_t (Eq. 21): r + γ Q'(s', π'(s')). -----------------
+    double target = z.reward;
+    if (!z.done && !z.next_candidates.empty()) {
+      const std::vector<double> next_scores =
+          Score(z.next_candidates, /*use_target=*/true);
+      int best = 0;
+      for (size_t j = 1; j < next_scores.size(); ++j) {
+        if (next_scores[j] > next_scores[static_cast<size_t>(best)]) {
+          best = static_cast<int>(j);
+        }
+      }
+      target += config_.gamma *
+                Q(z.next_candidates[static_cast<size_t>(best)],
+                  /*use_target=*/true);
+    }
+
+    // --- Critic: weighted squared TD error, with input gradient captured
+    // for the Eq. 25 priority. ---------------------------------------------
+    const auto& action_row = z.candidates[static_cast<size_t>(z.action_index)];
+    const nn::Tensor features = RowsToTensor({action_row});
+    const nn::Tensor q_out = critic_.Forward(features, /*training=*/true);
+    const double q_value = q_out[0];
+    const double td_error = target - q_value;
+    nn::Tensor grad_q({1, 1});
+    grad_q[0] = static_cast<float>(-2.0 * td_error) * weight /
+                static_cast<float>(batch.size());
+    const nn::Tensor grad_input = critic_.Backward(grad_q);
+    // |∇_a Q|: magnitude of the critic's sensitivity to the action features.
+    const double grad_action_norm = grad_input.Norm() /
+                                    std::max(1e-12, 2.0 * std::fabs(td_error) *
+                                                        weight /
+                                                        batch.size());
+
+    // --- Actor: advantage-weighted log-policy gradient. -------------------
+    // A = Q(s, a) - mean_j Q(s, j); loss = -μ A log π(a|s).
+    const std::vector<double> all_q = ForwardColumn(&critic_, z.candidates);
+    double mean_q = 0.0;
+    for (double q : all_q) mean_q += q;
+    mean_q /= static_cast<double>(all_q.size());
+    const double advantage = q_value - mean_q;
+
+    const std::vector<double> scores = ForwardColumn(&actor_, z.candidates);
+    std::vector<bool> mask(scores.size(), true);
+    const std::vector<double> probs = SoftmaxMasked(scores, mask);
+    // d(-A log π(a))/d score_j = -A (1{j=a} - π_j); re-run forward with
+    // training=true so the backward pass has fresh caches.
+    const nn::Tensor actor_in = RowsToTensor(z.candidates);
+    (void)actor_.Forward(actor_in, /*training=*/true);
+    // Policy entropy, for the regularizer below.
+    double entropy = 0.0;
+    for (double p : probs) {
+      if (p > 1e-12) entropy -= p * std::log(p);
+    }
+    nn::Tensor grad_scores({static_cast<int>(scores.size()), 1});
+    for (size_t j = 0; j < scores.size(); ++j) {
+      const double indicator = static_cast<int>(j) == z.action_index ? 1.0
+                                                                     : 0.0;
+      // Policy-gradient term plus entropy regularization
+      // (d(-H)/ds_j = π_j (log π_j + H)).
+      const double pg = -advantage * (indicator - probs[j]);
+      const double ent = config_.entropy_beta * probs[j] *
+                         (std::log(std::max(probs[j], 1e-12)) + entropy);
+      grad_scores[static_cast<int64_t>(j)] =
+          static_cast<float>(pg + ent) * weight /
+          static_cast<float>(batch.size());
+    }
+    actor_.Backward(grad_scores);
+
+    // --- Priority (Eq. 25): ε |φ| + (1-ε) |∇_a Q|. -------------------------
+    const double priority = config_.priority_epsilon * std::fabs(td_error) +
+                            (1.0 - config_.priority_epsilon) *
+                                grad_action_norm;
+    buffer->UpdatePriority(sample.index, priority);
+
+    critic_loss += td_error * td_error;
+    td_sum += std::fabs(td_error);
+    q_sum += q_value;
+  }
+
+  critic_optimizer_->Step(&critic_);
+  actor_optimizer_->Step(&actor_);
+
+  // Soft target updates: θ' ← τ θ + (1-τ) θ'.
+  target_actor_.LerpParamsFrom(actor_, static_cast<float>(config_.soft_tau));
+  target_critic_.LerpParamsFrom(critic_, static_cast<float>(config_.soft_tau));
+
+  const double n = static_cast<double>(batch.size());
+  stats.critic_loss = critic_loss / n;
+  stats.mean_td_error = td_sum / n;
+  stats.mean_q = q_sum / n;
+  return stats;
+}
+
+double StepReward(double loss_before, double loss_after,
+                  double compute_cost_fraction, double bandwidth_cost_fraction,
+                  double upsilon) {
+  FEDMIGR_CHECK_GT(upsilon, 1.0);
+  const double denom = std::max(std::fabs(loss_before), 1e-8);
+  const double relative_delta =
+      std::clamp((loss_after - loss_before) / denom, -1.0, 1.0);
+  return -std::pow(upsilon, relative_delta) - compute_cost_fraction -
+         bandwidth_cost_fraction;
+}
+
+double TerminalReward(double step_reward, bool success, double bonus) {
+  return step_reward + (success ? bonus : -bonus);
+}
+
+double ShapedDecisionReward(double epoch_reward, double emd_gain,
+                            double time_norm, double gain_weight,
+                            double time_weight) {
+  return epoch_reward + gain_weight * emd_gain - time_weight * time_norm;
+}
+
+}  // namespace fedmigr::rl

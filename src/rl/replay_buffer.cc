@@ -1,0 +1,101 @@
+#include "rl/replay_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fedmigr::rl {
+
+SumTree::SumTree(size_t capacity) : capacity_(capacity) {
+  FEDMIGR_CHECK_GT(capacity, 0u);
+  base_ = 1;
+  while (base_ < capacity_) base_ <<= 1;
+  nodes_.assign(2 * base_, 0.0);
+}
+
+void SumTree::Set(size_t index, double priority) {
+  FEDMIGR_CHECK_LT(index, capacity_);
+  FEDMIGR_CHECK_GE(priority, 0.0);
+  size_t node = index + base_;
+  const double delta = priority - nodes_[node];
+  while (node >= 1) {
+    nodes_[node] += delta;
+    node /= 2;
+  }
+}
+
+double SumTree::Get(size_t index) const {
+  FEDMIGR_CHECK_LT(index, capacity_);
+  return nodes_[index + base_];
+}
+
+double SumTree::Total() const { return nodes_[1]; }
+
+size_t SumTree::Find(double mass) const {
+  FEDMIGR_CHECK_GE(mass, 0.0);
+  size_t node = 1;
+  while (node < base_) {
+    const size_t left = 2 * node;
+    if (mass < nodes_[left]) {
+      node = left;
+    } else {
+      mass -= nodes_[left];
+      node = left + 1;
+    }
+  }
+  return std::min(node - base_, capacity_ - 1);
+}
+
+PrioritizedReplayBuffer::PrioritizedReplayBuffer(size_t capacity, double xi,
+                                                 double beta)
+    : capacity_(capacity), xi_(xi), beta_(beta), tree_(capacity) {
+  FEDMIGR_CHECK_GE(xi_, 0.0);
+  FEDMIGR_CHECK_GE(beta_, 0.0);
+  storage_.resize(capacity_);
+}
+
+void PrioritizedReplayBuffer::Add(Transition transition) {
+  storage_[next_] = std::move(transition);
+  tree_.Set(next_, std::pow(max_priority_, xi_));
+  next_ = (next_ + 1) % capacity_;
+  size_ = std::min(size_ + 1, capacity_);
+}
+
+std::vector<SampledTransition> PrioritizedReplayBuffer::Sample(
+    size_t batch_size, util::Rng* rng) {
+  FEDMIGR_CHECK(!empty());
+  std::vector<SampledTransition> batch;
+  batch.reserve(batch_size);
+  const double total = tree_.Total();
+  FEDMIGR_CHECK_GT(total, 0.0);
+
+  // First pass: draw indices and compute raw weights; normalize by the max
+  // weight afterwards (Eq. 29).
+  double max_weight = 0.0;
+  for (size_t b = 0; b < batch_size; ++b) {
+    const double mass = rng->Uniform() * total;
+    const size_t index = std::min(tree_.Find(mass), size_ - 1);
+    const double probability = tree_.Get(index) / total;
+    SampledTransition sample;
+    sample.index = index;
+    sample.weight =
+        std::pow(static_cast<double>(size_) * probability, -beta_);
+    sample.transition = &storage_[index];
+    max_weight = std::max(max_weight, sample.weight);
+    batch.push_back(sample);
+  }
+  if (max_weight > 0.0) {
+    for (auto& sample : batch) sample.weight /= max_weight;
+  }
+  return batch;
+}
+
+void PrioritizedReplayBuffer::UpdatePriority(size_t index, double priority) {
+  FEDMIGR_CHECK_LT(index, size_);
+  priority = std::max(priority, 1e-6);  // keep every transition reachable
+  max_priority_ = std::max(max_priority_, priority);
+  tree_.Set(index, std::pow(priority, xi_));
+}
+
+}  // namespace fedmigr::rl

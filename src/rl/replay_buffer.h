@@ -1,0 +1,93 @@
+// Prioritized experience replay (Section III-D, Eqs. 23-29).
+//
+// Transitions are stored with a priority; sampling probability follows
+// P(z) = p_z^ξ / Σ p^ξ (Eq. 26) via a sum-tree, and sampled transitions
+// carry the importance weight μ_z = (|B| P(z))^(-β) / max_i μ_i (Eq. 29)
+// that corrects the bias prioritization introduces.
+
+#ifndef FEDMIGR_RL_REPLAY_BUFFER_H_
+#define FEDMIGR_RL_REPLAY_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedmigr::rl {
+
+// One decision step: in state s (the K candidate (source, destination)
+// feature rows) the agent chose `action_index`, received `reward`, and moved
+// to the state whose candidate rows are `next_candidates` (empty when the
+// episode ended).
+struct Transition {
+  std::vector<std::vector<float>> candidates;       // K x F
+  int action_index = 0;
+  float reward = 0.0f;
+  bool done = false;
+  std::vector<std::vector<float>> next_candidates;  // K x F, empty if done
+};
+
+// Binary sum-tree over priorities for O(log n) sampling and updates.
+class SumTree {
+ public:
+  explicit SumTree(size_t capacity);
+
+  void Set(size_t index, double priority);
+  double Get(size_t index) const;
+  double Total() const;
+  // Index whose cumulative-priority interval contains `mass` in [0, Total).
+  size_t Find(double mass) const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  // Leaves live at [base_, base_ + capacity_) with base_ the next power of
+  // two >= capacity, so parent/child arithmetic is uniform.
+  size_t base_;
+  std::vector<double> nodes_;
+};
+
+struct SampledTransition {
+  size_t index = 0;            // for UpdatePriority after the TD step
+  double weight = 1.0;         // importance-sampling weight μ_z
+  const Transition* transition = nullptr;
+};
+
+class PrioritizedReplayBuffer {
+ public:
+  // `xi` is the prioritization exponent ξ (0 = uniform), `beta` the
+  // importance-sampling exponent.
+  PrioritizedReplayBuffer(size_t capacity, double xi = 0.6,
+                          double beta = 0.4);
+
+  // Inserts with maximal current priority (new experience is replayed at
+  // least once). Overwrites the oldest entry when full.
+  void Add(Transition transition);
+
+  // Samples `batch_size` transitions (with replacement) according to the
+  // priority distribution. Requires a non-empty buffer.
+  std::vector<SampledTransition> Sample(size_t batch_size, util::Rng* rng);
+
+  // Re-prioritizes a transition after its TD error was recomputed (Eq. 25's
+  // blended priority is computed by the caller).
+  void UpdatePriority(size_t index, double priority);
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  size_t capacity_;
+  double xi_;
+  double beta_;
+  std::vector<Transition> storage_;
+  SumTree tree_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+  double max_priority_ = 1.0;
+};
+
+}  // namespace fedmigr::rl
+
+#endif  // FEDMIGR_RL_REPLAY_BUFFER_H_

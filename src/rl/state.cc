@@ -1,0 +1,79 @@
+#include "rl/state.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fedmigr::rl {
+
+double MaxTransferSeconds(const fl::PolicyContext& ctx) {
+  const int k = ctx.topology->num_clients();
+  double max_time = 0.0;
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i == j) continue;
+      max_time = std::max(
+          max_time, ctx.topology->TransferSeconds(i, j, ctx.model_bytes));
+    }
+  }
+  return max_time > 0.0 ? max_time : 1.0;
+}
+
+GlobalFeatures MakeGlobalFeatures(const fl::PolicyContext& ctx,
+                                  int horizon_epochs) {
+  GlobalFeatures global;
+  global.epoch_fraction =
+      std::min(1.0, static_cast<double>(ctx.epoch) /
+                        std::max(1, horizon_epochs));
+  // Squash the loss so datasets with different class counts produce
+  // comparable magnitudes.
+  global.loss = std::tanh(ctx.global_loss / 4.0);
+  if (ctx.budget != nullptr) {
+    global.compute_fraction = ctx.budget->ComputeUsedFraction();
+    global.bandwidth_fraction = ctx.budget->BandwidthUsedFraction();
+  }
+  return global;
+}
+
+std::vector<float> ActionFeatures(const fl::PolicyContext& ctx,
+                                  const std::vector<std::vector<double>>& gain,
+                                  double max_transfer_seconds, int src,
+                                  int dst, const GlobalFeatures& global) {
+  std::vector<float> row(kActionFeatureDim);
+  const bool stay = src == dst;
+  const double emd =
+      stay ? 0.0
+           : gain[static_cast<size_t>(src)][static_cast<size_t>(dst)];
+  const double same_lan = stay ? 1.0
+                               : (ctx.topology->SameLan(src, dst) ? 1.0 : 0.0);
+  const double time =
+      stay ? 0.0
+           : ctx.topology->TransferSeconds(src, dst, ctx.model_bytes) /
+                 max_transfer_seconds;
+  row[0] = static_cast<float>(emd / 2.0);  // EMD over a simplex is <= 2
+  row[1] = static_cast<float>(same_lan);
+  row[2] = static_cast<float>(time);
+  row[3] = stay ? 1.0f : 0.0f;
+  row[4] = static_cast<float>(global.epoch_fraction);
+  row[5] = static_cast<float>(global.loss);
+  row[6] = static_cast<float>(global.compute_fraction);
+  row[7] = static_cast<float>(global.bandwidth_fraction);
+  return row;
+}
+
+std::vector<std::vector<float>> CandidateRows(
+    const fl::PolicyContext& ctx,
+    const std::vector<std::vector<double>>& gain, int src) {
+  const int k = ctx.topology->num_clients();
+  const double max_time = MaxTransferSeconds(ctx);
+  const GlobalFeatures global = MakeGlobalFeatures(ctx, /*horizon=*/1000);
+  std::vector<std::vector<float>> rows;
+  rows.reserve(static_cast<size_t>(k));
+  for (int dst = 0; dst < k; ++dst) {
+    rows.push_back(ActionFeatures(ctx, gain, max_time, src, dst, global));
+  }
+  return rows;
+}
+
+}  // namespace fedmigr::rl

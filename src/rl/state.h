@@ -1,0 +1,51 @@
+// State featurization (Section III-C).
+//
+// The paper's state s_t = (t, w_t, F_t, D_t, R_t, G_t) is reduced to a fixed
+// per-action feature row: the agent scores the action "migrate the model at
+// source i to destination j" from the components of s_t that pertain to the
+// pair (i, j) plus the global scalars. This keeps the policy network's input
+// size independent of K, which is what lets one pre-trained agent serve
+// networks of any size (the paper's scalability claim, Fig. 6).
+
+#ifndef FEDMIGR_RL_STATE_H_
+#define FEDMIGR_RL_STATE_H_
+
+#include <vector>
+
+#include "fl/policies.h"
+
+namespace fedmigr::rl {
+
+// Number of features per (source, destination) action row.
+inline constexpr int kActionFeatureDim = 8;
+
+struct GlobalFeatures {
+  double epoch_fraction = 0.0;    // t / T
+  double loss = 0.0;              // F_t (squashed)
+  double compute_fraction = 0.0;  // consumed / B_c
+  double bandwidth_fraction = 0.0;
+};
+
+// Feature row for migrating the model hosted at `src` to client `dst`:
+// [ emd_gain, same_lan, transfer_time_norm, stay_flag,
+//   epoch_frac, loss, compute_frac, bandwidth_frac ].
+std::vector<float> ActionFeatures(const fl::PolicyContext& ctx,
+                                  const std::vector<std::vector<double>>& gain,
+                                  double max_transfer_seconds, int src,
+                                  int dst, const GlobalFeatures& global);
+
+// All K candidate rows for one source (dst = 0..K-1; dst == src is "stay").
+std::vector<std::vector<float>> CandidateRows(
+    const fl::PolicyContext& ctx,
+    const std::vector<std::vector<double>>& gain, int src);
+
+// Largest pairwise transfer time in the topology for `ctx.model_bytes` —
+// the normalizer used by ActionFeatures.
+double MaxTransferSeconds(const fl::PolicyContext& ctx);
+
+GlobalFeatures MakeGlobalFeatures(const fl::PolicyContext& ctx,
+                                  int horizon_epochs);
+
+}  // namespace fedmigr::rl
+
+#endif  // FEDMIGR_RL_STATE_H_

@@ -1,0 +1,218 @@
+#include "rl/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/distribution.h"
+#include "fl/policies.h"
+#include "rl/agent.h"
+#include "rl/state.h"
+#include "util/logging.h"
+
+namespace fedmigr::rl {
+
+namespace {
+
+net::Topology BuildTopology(const SurrogateConfig& config) {
+  net::TopologyConfig tc;
+  tc.lan_of = net::EvenLanAssignment(config.num_clients, config.num_lans);
+  return net::Topology(std::move(tc));
+}
+
+}  // namespace
+
+SurrogateEnv::SurrogateEnv(const SurrogateConfig& config, uint64_t seed)
+    : config_(config), rng_(seed), topology_(BuildTopology(config)) {
+  FEDMIGR_CHECK_GT(config_.num_clients, 0);
+  FEDMIGR_CHECK_GT(config_.num_classes, 0);
+  FEDMIGR_CHECK_GE(config_.agg_period, 1);
+  Reset();
+}
+
+void SurrogateEnv::Reset() {
+  const int k = config_.num_clients;
+  const int l = config_.num_classes;
+  client_dist_.assign(static_cast<size_t>(k),
+                      std::vector<double>(static_cast<size_t>(l), 0.0));
+  // LAN-correlated skew: all clients of a LAN draw their dominant classes
+  // from the same small pool, so cross-LAN divergence >> within-LAN.
+  const int lans = topology_.num_lans();
+  const int classes_per_lan = std::max(1, l / lans);
+  for (int i = 0; i < k; ++i) {
+    const int lan = topology_.lan_of(i);
+    auto& dist = client_dist_[static_cast<size_t>(i)];
+    for (int c = 0; c < config_.classes_per_client; ++c) {
+      const int base = (lan * classes_per_lan) % l;
+      const int cls = (base + rng_.UniformInt(classes_per_lan)) % l;
+      dist[static_cast<size_t>(cls)] += 1.0;
+    }
+    double total = 0.0;
+    for (double p : dist) total += p;
+    for (auto& p : dist) p /= total;
+  }
+  population_.assign(static_cast<size_t>(l), 0.0);
+  for (const auto& dist : client_dist_) {
+    for (size_t c = 0; c < dist.size(); ++c) {
+      population_[c] += dist[c] / static_cast<double>(k);
+    }
+  }
+  model_dist_.assign(static_cast<size_t>(k),
+                     std::vector<double>(static_cast<size_t>(l), 0.0));
+  model_samples_.assign(static_cast<size_t>(k), 0.0);
+  pending_destination_.assign(static_cast<size_t>(k), -1);
+  budget_ = net::Budget(config_.compute_budget,
+                        config_.bandwidth_budget_bytes);
+  epoch_ = 0;
+  RecomputeLoss();
+}
+
+void SurrogateEnv::RecomputeLoss() {
+  // Mixing level Φ: 1 when every resident model has seen the population
+  // distribution, 0 when every model only knows one client's skewed data.
+  double phi = 0.0;
+  for (const auto& dist : model_dist_) {
+    phi += 1.0 - data::EmdDistance(dist, population_) / 2.0;
+  }
+  phi /= static_cast<double>(model_dist_.size());
+  const double base =
+      config_.loss_floor +
+      (config_.loss_initial - config_.loss_floor) *
+          std::exp(-config_.loss_decay * static_cast<double>(epoch_));
+  loss_ = base * (1.0 + config_.skew_penalty * (1.0 - phi));
+}
+
+std::vector<std::vector<double>> SurrogateEnv::GainMatrix() const {
+  const int k = config_.num_clients;
+  std::vector<std::vector<double>> gain(
+      static_cast<size_t>(k), std::vector<double>(static_cast<size_t>(k)));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      gain[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          i == j ? 0.0
+                 : data::EmdDistance(model_dist_[static_cast<size_t>(i)],
+                                     client_dist_[static_cast<size_t>(j)]);
+    }
+  }
+  return gain;
+}
+
+std::vector<std::vector<float>> SurrogateEnv::Candidates(int src) const {
+  fl::PolicyContext ctx;
+  ctx.epoch = epoch_;
+  ctx.topology = &topology_;
+  ctx.model_bytes = config_.model_bytes;
+  ctx.client_distributions = &client_dist_;
+  ctx.model_distributions = &model_dist_;
+  ctx.global_loss = loss_;
+  ctx.budget = &budget_;
+  return CandidateRows(ctx, GainMatrix(), src);
+}
+
+std::vector<bool> SurrogateEnv::Mask(int src) const {
+  const int k = config_.num_clients;
+  std::vector<bool> mask(static_cast<size_t>(k), true);
+  for (int i = 0; i < k; ++i) {
+    const int claimed = pending_destination_[static_cast<size_t>(i)];
+    if (claimed >= 0 && claimed != i) {
+      mask[static_cast<size_t>(claimed)] = false;
+    }
+  }
+  mask[static_cast<size_t>(src)] = true;  // staying is always possible
+  return mask;
+}
+
+void SurrogateEnv::Choose(int src, int dst) {
+  FEDMIGR_CHECK_GE(src, 0);
+  FEDMIGR_CHECK_LT(src, config_.num_clients);
+  FEDMIGR_CHECK_GE(dst, 0);
+  FEDMIGR_CHECK_LT(dst, config_.num_clients);
+  pending_destination_[static_cast<size_t>(src)] = dst;
+}
+
+SurrogateEnv::StepResult SurrogateEnv::EndEpoch() {
+  const int k = config_.num_clients;
+  const double loss_before = loss_;
+  const double bandwidth_before = budget_.bandwidth_used();
+  const double compute_before = budget_.compute_used();
+
+  // Record each decision's realized gain / link time for reward shaping
+  // (before the state moves underneath us).
+  const auto gain_before = GainMatrix();
+  double max_time = 1e-12;
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i == j) continue;
+      max_time = std::max(
+          max_time, topology_.TransferSeconds(i, j, config_.model_bytes));
+    }
+  }
+  std::vector<double> decision_gain(static_cast<size_t>(k), 0.0);
+  std::vector<double> decision_time(static_cast<size_t>(k), 0.0);
+  for (int i = 0; i < k; ++i) {
+    const int dst = pending_destination_[static_cast<size_t>(i)];
+    if (dst < 0 || dst == i) continue;
+    decision_gain[static_cast<size_t>(i)] =
+        gain_before[static_cast<size_t>(i)][static_cast<size_t>(dst)];
+    decision_time[static_cast<size_t>(i)] =
+        topology_.TransferSeconds(i, dst, config_.model_bytes) / max_time;
+  }
+
+  // Execute migrations from a snapshot (destination's model is replaced).
+  const auto dist_snapshot = model_dist_;
+  const auto samples_snapshot = model_samples_;
+  for (int i = 0; i < k; ++i) {
+    const int dst = pending_destination_[static_cast<size_t>(i)];
+    if (dst < 0 || dst == i) continue;
+    model_dist_[static_cast<size_t>(dst)] =
+        dist_snapshot[static_cast<size_t>(i)];
+    model_samples_[static_cast<size_t>(dst)] =
+        samples_snapshot[static_cast<size_t>(i)];
+    budget_.ConsumeBandwidth(static_cast<double>(config_.model_bytes));
+    budget_.ConsumeTime(
+        topology_.TransferSeconds(i, dst, config_.model_bytes));
+  }
+  std::fill(pending_destination_.begin(), pending_destination_.end(), -1);
+
+  // Local updating: every resident model absorbs its host's distribution
+  // (unit sample weight per epoch).
+  for (int i = 0; i < k; ++i) {
+    model_dist_[static_cast<size_t>(i)] = data::MixDistributions(
+        model_dist_[static_cast<size_t>(i)],
+        model_samples_[static_cast<size_t>(i)],
+        client_dist_[static_cast<size_t>(i)], 1.0);
+    model_samples_[static_cast<size_t>(i)] += 1.0;
+  }
+  budget_.ConsumeCompute(static_cast<double>(k));
+
+  ++epoch_;
+  const bool aggregate = (epoch_ % config_.agg_period) == 0;
+  RecomputeLoss();
+  if (aggregate) {
+    // Fresh replicas of the aggregated global model.
+    for (auto& dist : model_dist_) std::fill(dist.begin(), dist.end(), 0.0);
+    std::fill(model_samples_.begin(), model_samples_.end(), 0.0);
+  }
+
+  StepResult result;
+  const double compute_fraction =
+      (budget_.compute_used() - compute_before) / config_.compute_budget;
+  const double bandwidth_fraction =
+      (budget_.bandwidth_used() - bandwidth_before) /
+      config_.bandwidth_budget_bytes;
+  result.reward =
+      StepReward(loss_before, loss_, compute_fraction, bandwidth_fraction);
+  result.done = epoch_ >= config_.episode_epochs || budget_.Exhausted();
+  if (result.done) {
+    result.success = !budget_.Exhausted();
+    result.reward = TerminalReward(result.reward, result.success);
+  }
+  result.shaped_rewards.resize(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    result.shaped_rewards[static_cast<size_t>(i)] = ShapedDecisionReward(
+        result.reward, decision_gain[static_cast<size_t>(i)],
+        decision_time[static_cast<size_t>(i)]);
+  }
+  return result;
+}
+
+}  // namespace fedmigr::rl

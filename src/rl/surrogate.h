@@ -1,0 +1,108 @@
+// Surrogate pre-training environment.
+//
+// Section III-B: "the training of DRL agent can be performed offline in the
+// simulation environment which has sufficient resources before being
+// deployed in practice". Training DDPG inside the real FL loop would cost
+// thousands of SGD epochs per gradient step, so we pre-train on a light
+// MDP built from the paper's own analysis: the Section II-C mixing
+// arithmetic drives a loss proxy, and the reward is exactly Eq. 17 with the
+// real topology's transfer costs. The agent therefore learns the mapping
+// the paper claims it learns — "prefer destinations with large distribution
+// divergence, discounted by link cost" — at a tiny fraction of the compute.
+//
+// Dynamics per epoch:
+//   1. every source picks a destination (or stays);
+//   2. chosen models move (bandwidth cost per Eq. 16's b_ij);
+//   3. each resident model mixes in its host's label distribution;
+//   4. the loss proxy F_t = floor + decay(t) * (1 + κ (1 - Φ_t)) updates,
+//      where Φ_t is the mean mixing level 1 - EMD(model, population)/2;
+//   5. on aggregation epochs provenance resets (fresh global replicas).
+
+#ifndef FEDMIGR_RL_SURROGATE_H_
+#define FEDMIGR_RL_SURROGATE_H_
+
+#include <vector>
+
+#include "net/budget.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace fedmigr::rl {
+
+struct SurrogateConfig {
+  int num_clients = 10;
+  int num_classes = 10;
+  int num_lans = 3;
+  int episode_epochs = 40;
+  int agg_period = 10;
+  // Each client's local data covers this many classes (label skew).
+  int classes_per_client = 1;
+  int64_t model_bytes = 50000;
+  // Budgets sized so a full episode uses roughly 80% of each budget when
+  // the policy migrates moderately.
+  double bandwidth_budget_bytes = 4e7;
+  double compute_budget = 1e6;
+  double loss_floor = 0.4;
+  double loss_initial = 2.3;
+  double loss_decay = 0.02;   // per-epoch exponential decay of the base loss
+  double skew_penalty = 1.5;  // κ above
+};
+
+class SurrogateEnv {
+ public:
+  SurrogateEnv(const SurrogateConfig& config, uint64_t seed);
+
+  // Starts a new episode with freshly randomized client distributions
+  // (LAN-correlated: clients in one LAN share their dominant classes, the
+  // paper's motivating data layout).
+  void Reset();
+
+  int num_clients() const { return config_.num_clients; }
+  int epoch() const { return epoch_; }
+  double loss() const { return loss_; }
+  const net::Topology& topology() const { return topology_; }
+
+  // Candidate feature rows for one source at the current state (K rows,
+  // kActionFeatureDim columns), plus the availability mask: a destination
+  // already claimed this epoch is masked out (staying is always allowed).
+  std::vector<std::vector<float>> Candidates(int src) const;
+  std::vector<bool> Mask(int src) const;
+
+  // Migration-gain matrix of the current state (model-vs-client EMDs).
+  std::vector<std::vector<double>> GainMatrix() const;
+
+  // Registers source `src`'s choice for this epoch.
+  void Choose(int src, int dst);
+
+  struct StepResult {
+    double reward = 0.0;
+    bool done = false;
+    bool success = false;
+    // Per-source shaped rewards (ShapedDecisionReward over the epoch
+    // reward); index = source client.
+    std::vector<double> shaped_rewards;
+  };
+
+  // Applies all registered choices, advances the dynamics one epoch and
+  // returns the shared epoch reward (Eq. 17; Eq. 18 on the final epoch).
+  StepResult EndEpoch();
+
+ private:
+  void RecomputeLoss();
+
+  SurrogateConfig config_;
+  util::Rng rng_;
+  net::Topology topology_;
+  net::Budget budget_;
+  std::vector<std::vector<double>> client_dist_;  // K x L
+  std::vector<std::vector<double>> model_dist_;   // K x L
+  std::vector<double> model_samples_;
+  std::vector<double> population_;
+  std::vector<int> pending_destination_;  // this epoch's choices
+  int epoch_ = 0;
+  double loss_ = 0.0;
+};
+
+}  // namespace fedmigr::rl
+
+#endif  // FEDMIGR_RL_SURROGATE_H_

@@ -1,0 +1,79 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace fedmigr::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Serializes writes so interleaved worker threads produce whole lines.
+std::mutex& OutputMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  // Strip directories from __FILE__ for compact output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(OutputMutex());
+  std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LevelTag(level),
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), base, line, msg.c_str());
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel()) {
+    Emit(level_, file_, line_, stream_.str());
+  }
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  std::lock_guard<std::mutex> lock(OutputMutex());
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace fedmigr::util

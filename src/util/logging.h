@@ -1,0 +1,82 @@
+// Minimal leveled logging plus CHECK-style assertions.
+//
+// Logging is stream-based: FEDMIGR_LOG(kInfo) << "trained " << n << " epochs";
+// CHECK macros abort with a message on violated invariants; they guard
+// programming errors (API misuse), while recoverable conditions use Status.
+
+#ifndef FEDMIGR_UTIL_LOGGING_H_
+#define FEDMIGR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fedmigr::util {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Global severity threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Collects one message and emits it (with timestamp and level tag) on
+// destruction. Not copyable; meant to be used as a temporary via the macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process in the destructor. Used by CHECK.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace fedmigr::util
+
+#define FEDMIGR_LOG(level)                                          \
+  ::fedmigr::util::internal_logging::LogMessage(                    \
+      ::fedmigr::util::LogLevel::level, __FILE__, __LINE__)         \
+      .stream()
+
+#define FEDMIGR_CHECK(cond)                                         \
+  if (!(cond))                                                      \
+  ::fedmigr::util::internal_logging::FatalMessage(__FILE__, __LINE__, #cond) \
+      .stream()
+
+#define FEDMIGR_CHECK_EQ(a, b) FEDMIGR_CHECK((a) == (b))
+#define FEDMIGR_CHECK_NE(a, b) FEDMIGR_CHECK((a) != (b))
+#define FEDMIGR_CHECK_LT(a, b) FEDMIGR_CHECK((a) < (b))
+#define FEDMIGR_CHECK_LE(a, b) FEDMIGR_CHECK((a) <= (b))
+#define FEDMIGR_CHECK_GT(a, b) FEDMIGR_CHECK((a) > (b))
+#define FEDMIGR_CHECK_GE(a, b) FEDMIGR_CHECK((a) >= (b))
+
+#endif  // FEDMIGR_UTIL_LOGGING_H_

@@ -1,0 +1,104 @@
+// Lightweight error-handling primitives used across the FedMigr codebase.
+//
+// We follow the RocksDB/Arrow idiom: fallible operations return a `Status`
+// (or a `Result<T>` when they also produce a value) instead of throwing.
+// Exceptions are reserved for programming errors surfaced via CHECK-style
+// assertions in logging.h.
+
+#ifndef FEDMIGR_UTIL_STATUS_H_
+#define FEDMIGR_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fedmigr::util {
+
+// Error categories. Kept deliberately small; most call sites only care about
+// ok() vs. not-ok and the human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Value-semantic status word. Copyable and cheap (one enum + one string).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> carries either a value or an error Status. Modeled after
+// absl::StatusOr but minimal: no implicit conversions beyond the two
+// constructors below.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}           // NOLINT
+  Result(Status status) : status_(std::move(status)) {}   // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fedmigr::util
+
+// Propagates a non-OK Status from an expression, RocksDB-style.
+#define FEDMIGR_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::fedmigr::util::Status _status = (expr);        \
+    if (!_status.ok()) return _status;               \
+  } while (0)
+
+#endif  // FEDMIGR_UTIL_STATUS_H_

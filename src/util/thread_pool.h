@@ -1,0 +1,49 @@
+// Fixed-size thread pool used to train simulated clients in parallel.
+
+#ifndef FEDMIGR_UTIL_THREAD_POOL_H_
+#define FEDMIGR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedmigr::util {
+
+// Work-queue thread pool. Tasks are void() closures; `Wait()` blocks until
+// the queue drains and all workers are idle, which is the synchronization
+// point between FL phases (all clients finish local updating before the
+// server computes the migration policy).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+  void Wait();
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace fedmigr::util
+
+#endif  // FEDMIGR_UTIL_THREAD_POOL_H_

@@ -1,0 +1,98 @@
+// Whole-system integration tests: the qualitative claims the paper's
+// evaluation rests on must hold on a scaled-down workload.
+//
+// These are the slowest tests in the suite (a few seconds each); they use a
+// reduced dataset so the full suite stays fast.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/fedmigr.h"
+
+namespace fedmigr::core {
+namespace {
+
+Workload SmallWorkload(PartitionKind partition) {
+  WorkloadConfig config;
+  config.dataset = "c10";
+  config.partition = partition;
+  config.train_per_class_override = 50;
+  config.signal_override = 0.35;
+  return MakeWorkload(config);
+}
+
+void Configure(fl::TrainerConfig* config, const Workload& w, int epochs) {
+  ApplyWorkloadDefaults(w, config);
+  config->max_epochs = epochs;
+  config->learning_rate = 0.05;
+  config->batch_size = 16;
+  config->eval_every = epochs;  // single final evaluation
+}
+
+TEST(IntegrationTest, MigrationBeatsFedAvgUnderNonIid) {
+  const Workload w = SmallWorkload(PartitionKind::kLanShard);
+
+  fl::SchemeSetup fedavg = fl::MakeFedAvg();
+  Configure(&fedavg.config, w, 100);
+  const fl::RunResult fedavg_result = RunScheme(w, std::move(fedavg));
+
+  fl::SchemeSetup randmigr = fl::MakeRandMigr(/*agg_period=*/5);
+  Configure(&randmigr.config, w, 100);
+  const fl::RunResult randmigr_result = RunScheme(w, std::move(randmigr));
+
+  // The headline non-IID claim: migration improves accuracy while using
+  // less global (C2S) bandwidth. A small slack absorbs seed noise on this
+  // reduced workload; the benches show the full-size gap.
+  EXPECT_GT(randmigr_result.final_accuracy + 0.03,
+            fedavg_result.final_accuracy);
+  EXPECT_LT(randmigr_result.c2s_gb, fedavg_result.c2s_gb);
+  EXPECT_LT(randmigr_result.traffic_gb, fedavg_result.traffic_gb);
+}
+
+TEST(IntegrationTest, FedMigrRunsAndLearns) {
+  const Workload w = SmallWorkload(PartitionKind::kLanShard);
+  FedMigrOptions options;
+  options.agg_period = 5;
+  options.pretrain.episodes = 4;
+  options.cache_agent = false;
+  options.policy.online_learning = true;
+  fl::SchemeSetup fedmigr_scheme = MakeFedMigr(w.topology, w.num_classes,
+                                               options);
+  Configure(&fedmigr_scheme.config, w, 50);
+  const fl::RunResult result = RunScheme(w, std::move(fedmigr_scheme));
+  EXPECT_GT(result.final_accuracy, 0.2);  // chance is 0.1
+  EXPECT_GT(result.c2c_gb, 0.0);          // migrations actually happened
+  EXPECT_LT(result.c2s_gb, result.traffic_gb);
+}
+
+TEST(IntegrationTest, IidClosesTheGap) {
+  // Under IID data all schemes should perform comparably (Table II's IID
+  // columns): the FedAvg-vs-RandMigr accuracy gap shrinks vs the non-IID
+  // case.
+  const Workload iid = SmallWorkload(PartitionKind::kIid);
+
+  fl::SchemeSetup fedavg = fl::MakeFedAvg();
+  Configure(&fedavg.config, iid, 40);
+  const double fedavg_acc = RunScheme(iid, std::move(fedavg)).final_accuracy;
+
+  fl::SchemeSetup randmigr = fl::MakeRandMigr(5);
+  Configure(&randmigr.config, iid, 40);
+  const double randmigr_acc =
+      RunScheme(iid, std::move(randmigr)).final_accuracy;
+
+  EXPECT_GT(fedavg_acc, 0.3);  // IID is comfortable for FedAvg
+  EXPECT_NEAR(fedavg_acc, randmigr_acc, 0.25);
+}
+
+TEST(IntegrationTest, BudgetedRunReportsExhaustion) {
+  const Workload w = SmallWorkload(PartitionKind::kShard);
+  fl::SchemeSetup fedavg = fl::MakeFedAvg();
+  Configure(&fedavg.config, w, 100);
+  fedavg.config.budget = net::Budget(1e12, 5e6);  // ~ a few epochs of WAN
+  const fl::RunResult result = RunScheme(w, std::move(fedavg));
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_LT(result.epochs_run, 100);
+}
+
+}  // namespace
+}  // namespace fedmigr::core

@@ -1,0 +1,160 @@
+#include "fl/async.h"
+
+#include <gtest/gtest.h>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+#include "util/rng.h"
+
+namespace fedmigr::fl {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    data::SyntheticSpec spec = data::C10Spec();
+    spec.train_per_class = 20;
+    spec.test_per_class = 5;
+    data = data::GenerateSynthetic(spec);
+    util::Rng rng(5);
+    partition = data::PartitionByClassShards(data.train, 10, 1, &rng);
+  }
+
+  AsyncRunResult Run(AsyncConfig config,
+                     std::vector<net::DeviceProfile> devices = {}) {
+    if (devices.empty()) devices = net::MakeUniformFleet(10);
+    AsyncTrainer trainer(config, &data.train, partition, &data.test,
+                         net::MakeC10SimTopology(), std::move(devices),
+                         [](util::Rng* r) { return nn::MakeC10Net(r); });
+    return trainer.Run();
+  }
+
+  data::TrainTest data;
+  data::Partition partition;
+};
+
+TEST(AsyncTest, RunsRequestedUpdates) {
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 30;
+  config.eval_every = 10;
+  const AsyncRunResult result = f.Run(config);
+  EXPECT_EQ(result.updates_run, 30);
+  EXPECT_EQ(result.history.size(), 30u);
+  EXPECT_GT(result.time_s, 0.0);
+}
+
+TEST(AsyncTest, TimeAndUpdatesAreMonotone) {
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 25;
+  config.eval_every = 0;
+  const AsyncRunResult result = f.Run(config);
+  for (size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i].sim_time_s,
+              result.history[i - 1].sim_time_s);
+    EXPECT_EQ(result.history[i].update, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(AsyncTest, TrafficIsTwoTransfersPerUpdate) {
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 10;
+  config.eval_every = 0;
+  const AsyncRunResult result = f.Run(config);
+  util::Rng rng(1);
+  const double model_gb =
+      static_cast<double>(nn::MakeC10Net(&rng).ByteSize()) / 1e9;
+  EXPECT_NEAR(result.traffic_gb, 10 * 2 * model_gb, 1e-12);
+}
+
+TEST(AsyncTest, UniformFleetHasZeroStalenessPattern) {
+  // With identical devices and round times, clients alternate fairly and
+  // staleness stays bounded by the fleet size.
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 40;
+  config.eval_every = 0;
+  const AsyncRunResult result = f.Run(config);
+  for (const auto& record : result.history) {
+    EXPECT_GE(record.staleness, 0);
+    // Fair alternation bounds staleness near the fleet size (tie-breaking
+    // in the event queue allows a small excess).
+    EXPECT_LE(record.staleness, 2 * 10);
+  }
+}
+
+TEST(AsyncTest, FastDevicesUpdateMoreOften) {
+  Fixture f;
+  // Client 0 is 100x faster than the rest, so its rounds are bounded by
+  // the link time alone.
+  auto devices = net::MakeUniformFleet(10, 50.0);
+  devices[0].samples_per_second = 5000.0;
+  AsyncConfig config;
+  config.max_updates = 60;
+  config.eval_every = 0;
+  const AsyncRunResult result = f.Run(config, std::move(devices));
+  int fast_updates = 0;
+  for (const auto& record : result.history) {
+    if (record.client == 0) ++fast_updates;
+  }
+  // The fast client contributes far more than its 1/10 share (= 6).
+  EXPECT_GT(fast_updates, 15);
+}
+
+TEST(AsyncTest, SlowClientsAccumulateStaleness) {
+  Fixture f;
+  auto devices = net::MakeUniformFleet(10, 1000.0);
+  devices[9].samples_per_second = 50.0;  // straggler
+  AsyncConfig config;
+  config.max_updates = 80;
+  config.eval_every = 0;
+  const AsyncRunResult result = f.Run(config, std::move(devices));
+  int straggler_max_staleness = 0;
+  for (const auto& record : result.history) {
+    if (record.client == 9) {
+      straggler_max_staleness =
+          std::max(straggler_max_staleness, record.staleness);
+    }
+  }
+  EXPECT_GT(straggler_max_staleness, 10);
+}
+
+TEST(AsyncTest, LearnsAboveChance) {
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 150;
+  config.eval_every = 25;
+  config.learning_rate = 0.08;
+  const AsyncRunResult result = f.Run(config);
+  EXPECT_GT(result.best_accuracy, 0.2);  // chance is 0.1
+}
+
+TEST(AsyncTest, BudgetStopsEarly) {
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 1000;
+  config.eval_every = 0;
+  util::Rng rng(1);
+  const double model_bytes =
+      static_cast<double>(nn::MakeC10Net(&rng).ByteSize());
+  config.budget = net::Budget(1e15, 10.5 * 2 * model_bytes);
+  const AsyncRunResult result = f.Run(config);
+  EXPECT_LT(result.updates_run, 20);
+}
+
+TEST(AsyncTest, TargetStops) {
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 400;
+  config.eval_every = 10;
+  config.target_accuracy = 0.15;
+  config.learning_rate = 0.08;
+  const AsyncRunResult result = f.Run(config);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_GT(result.updates_to_target, 0);
+}
+
+}  // namespace
+}  // namespace fedmigr::fl

@@ -1,0 +1,116 @@
+#include "fl/client.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+#include "util/rng.h"
+
+namespace fedmigr::fl {
+namespace {
+
+struct Fixture {
+  Fixture() : data(data::GenerateSynthetic(data::C10Spec())) {}
+  data::TrainTest data;
+};
+
+std::vector<int> FirstN(int n) {
+  std::vector<int> idx(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  return idx;
+}
+
+TEST(ClientTest, BasicAccessors) {
+  Fixture f;
+  Client client(3, &f.data.train, FirstN(50), 0.05, 0.0, 1);
+  EXPECT_EQ(client.id(), 3);
+  EXPECT_EQ(client.num_samples(), 50);
+  EXPECT_EQ(client.label_distribution().size(), 10u);
+}
+
+TEST(ClientTest, LabelDistributionSumsToOne) {
+  Fixture f;
+  Client client(0, &f.data.train, FirstN(40), 0.05, 0.0, 2);
+  double sum = 0.0;
+  for (double p : client.label_distribution()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ClientTest, LocalUpdateReducesLoss) {
+  Fixture f;
+  Client client(0, &f.data.train, FirstN(100), 0.1, 0.0, 3);
+  util::Rng rng(4);
+  client.SetModel(nn::MakeC10Net(&rng));
+  LocalUpdateOptions options;
+  options.batch_size = 16;
+  double first = 0.0;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const auto result = client.LocalUpdate(options);
+    if (epoch == 0) first = result.mean_loss;
+    EXPECT_EQ(result.samples_processed, 100);
+  }
+  const auto last = client.LocalUpdate(options);
+  EXPECT_LT(last.mean_loss, first);
+}
+
+TEST(ClientTest, LocalUpdateMovesParameters) {
+  Fixture f;
+  Client client(0, &f.data.train, FirstN(32), 0.05, 0.0, 5);
+  util::Rng rng(6);
+  const nn::Sequential initial = nn::MakeC10Net(&rng);
+  client.SetModel(initial);
+  (void)client.LocalUpdate({});
+  EXPECT_GT(nn::Sequential::ParamDistance(client.model(), initial), 0.0);
+}
+
+TEST(ClientTest, TauMultipliesWork) {
+  Fixture f;
+  Client client(0, &f.data.train, FirstN(30), 0.05, 0.0, 7);
+  util::Rng rng(8);
+  client.SetModel(nn::MakeC10Net(&rng));
+  LocalUpdateOptions options;
+  options.epochs = 3;
+  const auto result = client.LocalUpdate(options);
+  EXPECT_EQ(result.samples_processed, 90);
+}
+
+TEST(ClientTest, EmptyClientIsNoop) {
+  Fixture f;
+  Client client(0, &f.data.train, {}, 0.05, 0.0, 9);
+  const auto result = client.LocalUpdate({});
+  EXPECT_EQ(result.samples_processed, 0);
+  EXPECT_EQ(result.mean_loss, 0.0);
+}
+
+TEST(ClientTest, FedProxPullsTowardReference) {
+  Fixture f;
+  util::Rng rng(10);
+  const nn::Sequential reference = nn::MakeC10Net(&rng);
+
+  auto run = [&](double mu) {
+    Client client(0, &f.data.train, FirstN(64), 0.05, 0.0, 11);
+    client.SetModel(reference);
+    client.SetProximalReference(reference);
+    LocalUpdateOptions options;
+    options.fedprox_mu = mu;
+    options.epochs = 5;
+    (void)client.LocalUpdate(options);
+    return nn::Sequential::ParamDistance(client.model(), reference);
+  };
+  // A strong proximal term keeps the iterate closer to the reference.
+  EXPECT_LT(run(10.0), run(0.0));
+}
+
+TEST(ClientTest, SetModelReplacesParameters) {
+  Fixture f;
+  Client client(0, &f.data.train, FirstN(10), 0.05, 0.0, 12);
+  util::Rng rng(13);
+  const nn::Sequential a = nn::MakeC10Net(&rng);
+  const nn::Sequential b = nn::MakeC10Net(&rng);
+  client.SetModel(a);
+  client.SetModel(b);
+  EXPECT_EQ(nn::Sequential::ParamDistance(client.model(), b), 0.0);
+}
+
+}  // namespace
+}  // namespace fedmigr::fl

@@ -1,0 +1,109 @@
+#include "fl/migration.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::fl {
+namespace {
+
+TEST(MigrationPlanTest, IdentityProperties) {
+  const MigrationPlan plan = MigrationPlan::Identity(5);
+  EXPECT_TRUE(plan.IsIdentity());
+  EXPECT_EQ(plan.NumMoves(), 0);
+  EXPECT_TRUE(plan.IsPermutation());
+}
+
+TEST(MigrationPlanTest, NumMovesCountsNonFixedPoints) {
+  MigrationPlan plan = MigrationPlan::Identity(4);
+  plan.incoming = {1, 0, 2, 3};  // swap 0 <-> 1
+  EXPECT_EQ(plan.NumMoves(), 2);
+  EXPECT_TRUE(plan.IsPermutation());
+}
+
+TEST(MigrationPlanTest, PermutationDetection) {
+  MigrationPlan plan;
+  plan.incoming = {0, 0, 2};  // client 0's model used twice
+  EXPECT_FALSE(plan.IsPermutation());
+  plan.incoming = {0, 3, 2};  // out of range
+  EXPECT_FALSE(plan.IsPermutation());
+}
+
+TEST(PlanFromDestinationsTest, InvertsDestinationMap) {
+  // Model 0 -> client 2, model 2 -> client 0, model 1 stays.
+  const MigrationPlan plan = PlanFromDestinations({2, 1, 0});
+  EXPECT_EQ(plan.incoming, (std::vector<int>{2, 1, 0}));
+  EXPECT_EQ(plan.NumMoves(), 2);
+}
+
+TEST(PlanFromDestinationsTest, CycleOfThree) {
+  const MigrationPlan plan = PlanFromDestinations({1, 2, 0});
+  EXPECT_EQ(plan.incoming, (std::vector<int>{2, 0, 1}));
+  EXPECT_TRUE(plan.IsPermutation());
+}
+
+TEST(PlanFromDestinationsTest, NonPermutationSingleMove) {
+  // Only client 0 sends (paper's one-pair-per-round case): destination 2
+  // receives 0's model, everyone else keeps their own.
+  const MigrationPlan plan = PlanFromDestinations({2, 1, 2});
+  EXPECT_EQ(plan.incoming, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(plan.NumMoves(), 1);
+  EXPECT_FALSE(plan.IsPermutation());
+}
+
+TEST(CostTest, IdentityCostsNothing) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  net::TrafficAccountant traffic;
+  const MigrationCost cost = CostAndRecord(MigrationPlan::Identity(10),
+                                           topology, 1 << 20, &traffic);
+  EXPECT_EQ(cost.bytes, 0);
+  EXPECT_EQ(cost.seconds, 0.0);
+  EXPECT_EQ(traffic.total_bytes(), 0);
+}
+
+TEST(CostTest, C2cMoveChargesOneTransfer) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  net::TrafficAccountant traffic;
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[1] = 0;  // 0 -> 1, intra-LAN
+  const MigrationCost cost =
+      CostAndRecord(plan, topology, 1000, &traffic);
+  EXPECT_EQ(cost.bytes, 1000);
+  EXPECT_EQ(cost.num_moves, 1);
+  EXPECT_EQ(traffic.c2c_bytes(), 1000);
+  EXPECT_EQ(traffic.c2s_bytes(), 0);
+  EXPECT_NEAR(cost.seconds, topology.TransferSeconds(0, 1, 1000), 1e-12);
+}
+
+TEST(CostTest, ViaServerChargesTwoWanHops) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  net::TrafficAccountant traffic;
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[1] = 0;
+  plan.via_server = true;
+  const MigrationCost cost = CostAndRecord(plan, topology, 1000, &traffic);
+  EXPECT_EQ(cost.bytes, 2000);
+  EXPECT_EQ(traffic.c2s_bytes(), 2000);
+  EXPECT_EQ(traffic.c2c_bytes(), 0);
+  EXPECT_GT(cost.seconds, topology.TransferSeconds(0, 1, 1000));
+}
+
+TEST(CostTest, ParallelMovesTakeMaxTime) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[1] = 0;  // intra-LAN (fast)
+  plan.incoming[5] = 4;  // intra-LAN
+  plan.incoming[8] = 2;  // cross-LAN (slower)
+  const MigrationCost cost = CostAndRecord(plan, topology, 1 << 20, nullptr);
+  EXPECT_EQ(cost.num_moves, 3);
+  EXPECT_NEAR(cost.seconds, topology.TransferSeconds(2, 8, 1 << 20), 1e-12);
+}
+
+TEST(CostTest, NullTrafficAccountantAllowed) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[3] = 7;
+  const MigrationCost cost = CostAndRecord(plan, topology, 500, nullptr);
+  EXPECT_EQ(cost.bytes, 500);
+}
+
+}  // namespace
+}  // namespace fedmigr::fl

@@ -1,0 +1,52 @@
+#include "fl/schemes.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::fl {
+namespace {
+
+TEST(SchemesTest, FedAvgAggregatesEveryEpoch) {
+  const SchemeSetup setup = MakeFedAvg();
+  EXPECT_EQ(setup.config.scheme_name, "fedavg");
+  EXPECT_EQ(setup.config.agg_period, 1);
+  EXPECT_EQ(setup.config.fedprox_mu, 0.0);
+  EXPECT_EQ(setup.policy->name(), "none");
+}
+
+TEST(SchemesTest, FedProxCarriesProximalTerm) {
+  const SchemeSetup setup = MakeFedProx(0.05);
+  EXPECT_EQ(setup.config.scheme_name, "fedprox");
+  EXPECT_EQ(setup.config.fedprox_mu, 0.05);
+  EXPECT_EQ(setup.policy->name(), "none");
+}
+
+TEST(SchemesTest, FedSwapUsesServerExchange) {
+  const SchemeSetup setup = MakeFedSwap(25);
+  EXPECT_EQ(setup.config.agg_period, 25);
+  EXPECT_EQ(setup.policy->name(), "fedswap");
+}
+
+TEST(SchemesTest, RandMigrUsesRandomPolicy) {
+  const SchemeSetup setup = MakeRandMigr(10);
+  EXPECT_EQ(setup.config.agg_period, 10);
+  EXPECT_EQ(setup.policy->name(), "random");
+}
+
+TEST(SchemesTest, FlmmVariant) {
+  const SchemeSetup setup = MakeFedMigrFlmm(50);
+  EXPECT_EQ(setup.config.scheme_name, "fedmigr-flmm");
+  EXPECT_EQ(setup.policy->name(), "flmm");
+}
+
+TEST(SchemesTest, ByNameMatchesFactories) {
+  for (const char* name :
+       {"fedavg", "fedprox", "fedswap", "randmigr", "fedmigr-flmm",
+        "maxemd"}) {
+    const SchemeSetup setup = MakeSchemeByName(name, 20);
+    EXPECT_FALSE(setup.config.scheme_name.empty());
+    EXPECT_NE(setup.policy, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace fedmigr::fl

@@ -1,0 +1,68 @@
+#include "net/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::net {
+namespace {
+
+TEST(BudgetTest, DefaultIsUnlimited) {
+  Budget budget;
+  budget.ConsumeCompute(1e12);
+  budget.ConsumeBandwidth(1e12);
+  budget.ConsumeTime(1e12);
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_EQ(budget.ComputeUsedFraction(), 0.0);
+  EXPECT_EQ(budget.BandwidthUsedFraction(), 0.0);
+}
+
+TEST(BudgetTest, TracksConsumption) {
+  Budget budget(100.0, 1000.0, 50.0);
+  budget.ConsumeCompute(30.0);
+  budget.ConsumeBandwidth(400.0);
+  budget.ConsumeTime(10.0);
+  EXPECT_DOUBLE_EQ(budget.compute_remaining(), 70.0);
+  EXPECT_DOUBLE_EQ(budget.bandwidth_remaining(), 600.0);
+  EXPECT_DOUBLE_EQ(budget.time_remaining(), 40.0);
+  EXPECT_FALSE(budget.Exhausted());
+}
+
+TEST(BudgetTest, ExhaustionOnAnyDimension) {
+  {
+    Budget budget(10.0, 1000.0);
+    budget.ConsumeCompute(10.0);
+    EXPECT_TRUE(budget.Exhausted());
+  }
+  {
+    Budget budget(1000.0, 10.0);
+    budget.ConsumeBandwidth(11.0);
+    EXPECT_TRUE(budget.Exhausted());
+  }
+  {
+    Budget budget(1000.0, 1000.0, 5.0);
+    budget.ConsumeTime(6.0);
+    EXPECT_TRUE(budget.Exhausted());
+  }
+}
+
+TEST(BudgetTest, UsedFractions) {
+  Budget budget(200.0, 400.0);
+  budget.ConsumeCompute(50.0);
+  budget.ConsumeBandwidth(100.0);
+  EXPECT_DOUBLE_EQ(budget.ComputeUsedFraction(), 0.25);
+  EXPECT_DOUBLE_EQ(budget.BandwidthUsedFraction(), 0.25);
+}
+
+TEST(BudgetTest, FractionsClampToOne) {
+  Budget budget(10.0, 10.0);
+  budget.ConsumeCompute(100.0);
+  EXPECT_DOUBLE_EQ(budget.ComputeUsedFraction(), 1.0);
+}
+
+TEST(BudgetTest, AccumulatesAcrossCalls) {
+  Budget budget(100.0, 100.0);
+  for (int i = 0; i < 10; ++i) budget.ConsumeCompute(5.0);
+  EXPECT_DOUBLE_EQ(budget.compute_used(), 50.0);
+}
+
+}  // namespace
+}  // namespace fedmigr::net

@@ -1,0 +1,67 @@
+#include "net/device.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::net {
+namespace {
+
+TEST(DeviceTest, ProfileOrdering) {
+  // Workstation > Xavier NX > Jetson TX2, as in the paper's testbed.
+  EXPECT_GT(MakeProfile(DeviceType::kWorkstation).samples_per_second,
+            MakeProfile(DeviceType::kXavierNx).samples_per_second);
+  EXPECT_GT(MakeProfile(DeviceType::kXavierNx).samples_per_second,
+            MakeProfile(DeviceType::kJetsonTx2).samples_per_second);
+}
+
+TEST(DeviceTest, ComputeSecondsScalesWithSamples) {
+  const DeviceProfile device = MakeProfile(DeviceType::kJetsonTx2);
+  const double t1 = ComputeSeconds(device, 100, 10000);
+  const double t2 = ComputeSeconds(device, 200, 10000);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+TEST(DeviceTest, ComputeSecondsScalesWithModelSize) {
+  const DeviceProfile device = MakeProfile(DeviceType::kXavierNx);
+  const double small = ComputeSeconds(device, 100, 10000);
+  const double large = ComputeSeconds(device, 100, 40000);
+  EXPECT_NEAR(large, 4.0 * small, 1e-9);
+}
+
+TEST(DeviceTest, TinyModelCostFloor) {
+  const DeviceProfile device = MakeProfile(DeviceType::kXavierNx);
+  // Models much smaller than the reference are clamped to a 0.1x floor.
+  const double tiny = ComputeSeconds(device, 100, 1);
+  const double reference = ComputeSeconds(device, 100, 10000);
+  EXPECT_NEAR(tiny, 0.1 * reference, 1e-9);
+}
+
+TEST(DeviceTest, TestbedFleetAlternates) {
+  const auto fleet = MakeTestbedFleet(4);
+  ASSERT_EQ(fleet.size(), 4u);
+  EXPECT_EQ(fleet[0].type, DeviceType::kJetsonTx2);
+  EXPECT_EQ(fleet[1].type, DeviceType::kXavierNx);
+  EXPECT_EQ(fleet[2].type, DeviceType::kJetsonTx2);
+}
+
+TEST(DeviceTest, UniformFleet) {
+  const auto fleet = MakeUniformFleet(5, 123.0);
+  ASSERT_EQ(fleet.size(), 5u);
+  for (const auto& device : fleet) {
+    EXPECT_EQ(device.samples_per_second, 123.0);
+  }
+}
+
+TEST(DeviceTest, HeterogeneousFleetHasStraggler) {
+  // The slowest device bounds the parallel phase; verify the fleet really
+  // is heterogeneous so straggler effects exist in the simulation.
+  const auto fleet = MakeTestbedFleet(10);
+  double fastest = 0.0, slowest = 1e18;
+  for (const auto& device : fleet) {
+    fastest = std::max(fastest, device.samples_per_second);
+    slowest = std::min(slowest, device.samples_per_second);
+  }
+  EXPECT_GT(fastest, slowest);
+}
+
+}  // namespace
+}  // namespace fedmigr::net

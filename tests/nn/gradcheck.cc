@@ -1,0 +1,77 @@
+#include "gradcheck.h"
+
+#include <cmath>
+#include <vector>
+
+namespace fedmigr::nn::testing {
+
+namespace {
+
+double Objective(Sequential* model, const Tensor& input,
+                 const std::vector<float>& direction) {
+  const Tensor out = model->Forward(input, /*training=*/true);
+  double sum = 0.0;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    sum += static_cast<double>(out[i]) * direction[static_cast<size_t>(i)];
+  }
+  return sum;
+}
+
+}  // namespace
+
+GradCheckResult CheckGradients(Sequential* model, const Tensor& input,
+                               util::Rng* rng, double epsilon) {
+  // Fixed random direction defines L = <f(x; w), d>.
+  const Tensor probe = model->Forward(input, /*training=*/true);
+  std::vector<float> direction(static_cast<size_t>(probe.size()));
+  for (auto& d : direction) {
+    d = static_cast<float>(rng->Uniform(-1.0, 1.0));
+  }
+
+  // Analytic gradients.
+  model->ZeroGrads();
+  (void)model->Forward(input, /*training=*/true);
+  Tensor grad_out(probe.shape());
+  for (int64_t i = 0; i < grad_out.size(); ++i) {
+    grad_out[i] = direction[static_cast<size_t>(i)];
+  }
+  const Tensor grad_input = model->Backward(grad_out);
+
+  GradCheckResult result;
+
+  // Input gradient vs central differences.
+  Tensor x = input;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(epsilon);
+    const double plus = Objective(model, x, direction);
+    x[i] = saved - static_cast<float>(epsilon);
+    const double minus = Objective(model, x, direction);
+    x[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * epsilon);
+    result.max_input_error = std::max(
+        result.max_input_error, std::fabs(numeric - grad_input[i]));
+  }
+
+  // Parameter gradients vs central differences.
+  auto params = model->Params();
+  auto grads = model->Grads();
+  for (size_t p = 0; p < params.size(); ++p) {
+    Tensor& w = *params[p];
+    const Tensor& g = *grads[p];
+    for (int64_t i = 0; i < w.size(); ++i) {
+      const float saved = w[i];
+      w[i] = saved + static_cast<float>(epsilon);
+      const double plus = Objective(model, input, direction);
+      w[i] = saved - static_cast<float>(epsilon);
+      const double minus = Objective(model, input, direction);
+      w[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      result.max_param_error =
+          std::max(result.max_param_error, std::fabs(numeric - g[i]));
+    }
+  }
+  return result;
+}
+
+}  // namespace fedmigr::nn::testing

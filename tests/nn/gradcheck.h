@@ -1,0 +1,28 @@
+// Finite-difference gradient checking for layers and models.
+//
+// Builds a scalar objective L = <output, direction> for a fixed random
+// direction and compares the analytic backward pass against central
+// differences on (a) the input and (b) every parameter.
+
+#ifndef FEDMIGR_TESTS_NN_GRADCHECK_H_
+#define FEDMIGR_TESTS_NN_GRADCHECK_H_
+
+#include "nn/sequential.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace fedmigr::nn::testing {
+
+struct GradCheckResult {
+  double max_input_error = 0.0;
+  double max_param_error = 0.0;
+};
+
+// Runs the check; errors are max |analytic - numeric| over all coordinates,
+// with numeric gradients from central differences of step `epsilon`.
+GradCheckResult CheckGradients(Sequential* model, const Tensor& input,
+                               util::Rng* rng, double epsilon = 1e-3);
+
+}  // namespace fedmigr::nn::testing
+
+#endif  // FEDMIGR_TESTS_NN_GRADCHECK_H_

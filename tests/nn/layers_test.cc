@@ -1,0 +1,205 @@
+#include "nn/layers.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace fedmigr::nn {
+namespace {
+
+using testing::CheckGradients;
+
+Tensor RandomInput(Shape shape, uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Normal());
+  }
+  return t;
+}
+
+TEST(DenseTest, ForwardShapeAndBias) {
+  util::Rng rng(1);
+  Dense layer(3, 2, &rng);
+  // Zero the weights so output = bias.
+  layer.Params()[0]->Zero();
+  (*layer.Params()[1])[0] = 1.0f;
+  (*layer.Params()[1])[1] = -2.0f;
+  const Tensor out = layer.Forward(RandomInput({4, 3}, 2), true);
+  EXPECT_EQ(out.shape(), (Shape{4, 2}));
+  EXPECT_EQ(out.At(0, 0), 1.0f);
+  EXPECT_EQ(out.At(3, 1), -2.0f);
+}
+
+TEST(DenseTest, GradientsMatchFiniteDifferences) {
+  util::Rng rng(3);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(4, 3, &rng));
+  const auto result =
+      CheckGradients(&model, RandomInput({2, 4}, 4), &rng);
+  EXPECT_LT(result.max_input_error, 1e-2);
+  EXPECT_LT(result.max_param_error, 1e-2);
+}
+
+TEST(Conv2DTest, GradientsMatchFiniteDifferences) {
+  util::Rng rng(5);
+  Sequential model;
+  model.Add(std::make_unique<Conv2D>(2, 3, 3, 1, &rng));
+  const auto result =
+      CheckGradients(&model, RandomInput({2, 2, 4, 4}, 6), &rng);
+  EXPECT_LT(result.max_input_error, 1e-2);
+  EXPECT_LT(result.max_param_error, 1e-2);
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor in({1, 4}, {-1, 0, 2, -3});
+  const Tensor out = relu.Forward(in, true);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 0.0f);
+  EXPECT_EQ(out[2], 2.0f);
+  EXPECT_EQ(out[3], 0.0f);
+}
+
+TEST(ReluTest, BackwardMasksGradient) {
+  ReLU relu;
+  Tensor in({1, 3}, {-1, 2, 3});
+  (void)relu.Forward(in, true);
+  Tensor grad({1, 3}, {5, 5, 5});
+  const Tensor out = relu.Backward(grad);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 5.0f);
+}
+
+TEST(TanhSigmoidTest, RangeAndGradients) {
+  util::Rng rng(7);
+  {
+    Sequential model;
+    model.Add(std::make_unique<Dense>(3, 3, &rng));
+    model.Add(std::make_unique<Tanh>());
+    const auto r = CheckGradients(&model, RandomInput({2, 3}, 8), &rng);
+    EXPECT_LT(r.max_input_error, 1e-2);
+    EXPECT_LT(r.max_param_error, 1e-2);
+  }
+  {
+    Sequential model;
+    model.Add(std::make_unique<Dense>(3, 3, &rng));
+    model.Add(std::make_unique<Sigmoid>());
+    const auto r = CheckGradients(&model, RandomInput({2, 3}, 9), &rng);
+    EXPECT_LT(r.max_input_error, 1e-2);
+    EXPECT_LT(r.max_param_error, 1e-2);
+  }
+}
+
+TEST(SigmoidTest, KnownValues) {
+  Sigmoid sigmoid;
+  Tensor in({1, 1}, {0.0f});
+  EXPECT_FLOAT_EQ(sigmoid.Forward(in, true)[0], 0.5f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Softmax softmax;
+  const Tensor out = softmax.Forward(RandomInput({3, 5}, 10), true);
+  for (int n = 0; n < 3; ++n) {
+    float sum = 0.0f;
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_GT(out.At(n, c), 0.0f);
+      sum += out.At(n, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  Softmax softmax;
+  Tensor in({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  const Tensor out = softmax.Forward(in, true);
+  EXPECT_NEAR(out[0], 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(SoftmaxTest, GradientsMatchFiniteDifferences) {
+  util::Rng rng(11);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(4, 4, &rng));
+  model.Add(std::make_unique<Softmax>());
+  const auto r = CheckGradients(&model, RandomInput({2, 4}, 12), &rng);
+  EXPECT_LT(r.max_input_error, 1e-2);
+  EXPECT_LT(r.max_param_error, 1e-2);
+}
+
+TEST(FlattenTest, RoundTripsShape) {
+  Flatten flatten;
+  Tensor in = RandomInput({2, 3, 4, 4}, 13);
+  const Tensor out = flatten.Forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 48}));
+  const Tensor back = flatten.Backward(out);
+  EXPECT_EQ(back.shape(), in.shape());
+  EXPECT_EQ(MaxAbsDiff(back, in), 0.0f);
+}
+
+TEST(MaxPoolLayerTest, GradCheckThroughPool) {
+  util::Rng rng(14);
+  Sequential model;
+  model.Add(std::make_unique<Conv2D>(1, 2, 3, 1, &rng));
+  model.Add(std::make_unique<MaxPool2x2>());
+  // Distinct values avoid ties at the pooling argmax (finite differences
+  // are undefined at ties).
+  const auto r = CheckGradients(&model, RandomInput({1, 1, 4, 4}, 15), &rng);
+  EXPECT_LT(r.max_input_error, 2e-2);
+  EXPECT_LT(r.max_param_error, 2e-2);
+}
+
+TEST(ResidualDenseTest, GradientsMatchFiniteDifferences) {
+  util::Rng rng(16);
+  Sequential model;
+  model.Add(std::make_unique<ResidualDense>(4, 6, &rng));
+  const auto r = CheckGradients(&model, RandomInput({2, 4}, 17), &rng);
+  EXPECT_LT(r.max_input_error, 2e-2);
+  EXPECT_LT(r.max_param_error, 2e-2);
+}
+
+TEST(ResidualDenseTest, ZeroBranchIsRelu) {
+  util::Rng rng(18);
+  ResidualDense block(3, 5, &rng);
+  for (Tensor* p : block.Params()) p->Zero();
+  Tensor in({1, 3}, {1.0f, -2.0f, 0.5f});
+  const Tensor out = block.Forward(in, true);
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[1], 0.0f);  // ReLU of the pass-through
+  EXPECT_EQ(out[2], 0.5f);
+}
+
+TEST(CloneTest, ClonesAreIndependentCopies) {
+  util::Rng rng(19);
+  Dense layer(2, 2, &rng);
+  auto clone = layer.Clone();
+  // Same parameters right after cloning.
+  EXPECT_EQ(MaxAbsDiff(*layer.Params()[0], *clone->Params()[0]), 0.0f);
+  // Mutating the original does not affect the clone.
+  (*layer.Params()[0])[0] += 1.0f;
+  EXPECT_EQ(MaxAbsDiff(*layer.Params()[0], *clone->Params()[0]), 1.0f);
+}
+
+TEST(CloneTest, AllLayerTypesClone) {
+  util::Rng rng(20);
+  Sequential model;
+  model.Add(std::make_unique<Conv2D>(1, 2, 3, 1, &rng));
+  model.Add(std::make_unique<ReLU>());
+  model.Add(std::make_unique<MaxPool2x2>());
+  model.Add(std::make_unique<Flatten>());
+  model.Add(std::make_unique<Dense>(8, 4, &rng));
+  model.Add(std::make_unique<Tanh>());
+  model.Add(std::make_unique<Sigmoid>());
+  model.Add(std::make_unique<Softmax>());
+  Sequential copy = model;  // copy = layer-wise Clone
+  const Tensor in = RandomInput({1, 1, 4, 4}, 21);
+  EXPECT_LT(MaxAbsDiff(model.Forward(in, false), copy.Forward(in, false)),
+            1e-6f);
+}
+
+}  // namespace
+}  // namespace fedmigr::nn

@@ -1,0 +1,166 @@
+#include "nn/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fedmigr::nn {
+namespace {
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, IdentityLeavesUnchanged) {
+  Tensor eye({2, 2}, {1, 0, 0, 1});
+  Tensor m({2, 2}, {3, 4, 5, 6});
+  EXPECT_EQ(MaxAbsDiff(MatMul(eye, m), m), 0.0f);
+}
+
+TEST(MatMulTest, TransAMatchesExplicitTranspose) {
+  util::Rng rng(1);
+  Tensor a({4, 3});  // interpreted as A^T: K=4, M=3
+  Tensor b({4, 5});
+  for (int64_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(rng.Normal());
+  for (int64_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(rng.Normal());
+  // Explicit transpose of a -> [3, 4].
+  Tensor at({3, 4});
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) at.At(j, i) = a.At(i, j);
+  }
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(a, b), MatMul(at, b)), 1e-5f);
+}
+
+TEST(MatMulTest, TransBMatchesExplicitTranspose) {
+  util::Rng rng(2);
+  Tensor a({3, 4});
+  Tensor b({5, 4});  // interpreted as B^T: N=5, K=4
+  for (int64_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(rng.Normal());
+  for (int64_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(rng.Normal());
+  Tensor bt({4, 5});
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) bt.At(j, i) = b.At(i, j);
+  }
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(a, b), MatMul(a, bt)), 1e-5f);
+}
+
+// Reference convolution: the obvious quadruple loop, kept separate from the
+// optimized production kernel.
+Tensor ReferenceConv(const Tensor& input, const Tensor& kernel,
+                     const Tensor& bias, int pad) {
+  const int batch = input.dim(0), cin = input.dim(1);
+  const int h = input.dim(2), w = input.dim(3);
+  const int cout = kernel.dim(0), kh = kernel.dim(2), kw = kernel.dim(3);
+  const int oh = h + 2 * pad - kh + 1, ow = w + 2 * pad - kw + 1;
+  Tensor out({batch, cout, oh, ow});
+  for (int n = 0; n < batch; ++n) {
+    for (int oc = 0; oc < cout; ++oc) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float sum = bias[oc];
+          for (int ic = 0; ic < cin; ++ic) {
+            for (int ky = 0; ky < kh; ++ky) {
+              for (int kx = 0; kx < kw; ++kx) {
+                const int iy = oy + ky - pad, ix = ox + kx - pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                sum += input.At(n, ic, iy, ix) * kernel.At(oc, ic, ky, kx);
+              }
+            }
+          }
+          out.At(n, oc, oy, ox) = sum;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class ConvParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(ConvParamTest, MatchesReferenceImplementation) {
+  const auto [cin, cout, size, ksize, pad] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(cin * 100 + cout * 10 + pad));
+  Tensor input({2, cin, size, size});
+  Tensor kernel({cout, cin, ksize, ksize});
+  Tensor bias({cout});
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(rng.Normal());
+  }
+  for (int64_t i = 0; i < kernel.size(); ++i) {
+    kernel[i] = static_cast<float>(rng.Normal());
+  }
+  for (int64_t i = 0; i < bias.size(); ++i) {
+    bias[i] = static_cast<float>(rng.Normal());
+  }
+  const Tensor fast = Conv2dForward(input, kernel, bias, pad);
+  const Tensor ref = ReferenceConv(input, kernel, bias, pad);
+  EXPECT_LT(MaxAbsDiff(fast, ref), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvParamTest,
+    ::testing::Values(std::make_tuple(1, 1, 4, 3, 1),
+                      std::make_tuple(3, 8, 8, 5, 2),
+                      std::make_tuple(2, 4, 6, 3, 0),
+                      std::make_tuple(4, 2, 5, 1, 0),
+                      std::make_tuple(2, 3, 8, 5, 2)));
+
+TEST(Conv2dTest, OutputShape) {
+  Tensor input({1, 3, 8, 8});
+  Tensor kernel({16, 3, 5, 5});
+  Tensor bias({16});
+  const Tensor out = Conv2dForward(input, kernel, bias, 2);
+  EXPECT_EQ(out.shape(), (Shape{1, 16, 8, 8}));
+}
+
+TEST(Conv2dTest, BiasOnlyWhenKernelZero) {
+  Tensor input({1, 1, 4, 4});
+  input.Fill(3.0f);
+  Tensor kernel({2, 1, 3, 3});  // zeros
+  Tensor bias({2}, {1.5f, -2.0f});
+  const Tensor out = Conv2dForward(input, kernel, bias, 1);
+  EXPECT_EQ(out.At(0, 0, 2, 2), 1.5f);
+  EXPECT_EQ(out.At(0, 1, 0, 0), -2.0f);
+}
+
+TEST(MaxPoolTest, SelectsMaxima) {
+  Tensor input({1, 1, 2, 2}, {1, 4, 3, 2});
+  Tensor argmax;
+  const Tensor out = MaxPool2x2Forward(input, &argmax);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_EQ(out[0], 4.0f);
+  EXPECT_EQ(argmax[0], 1.0f);  // flat index of the max
+}
+
+TEST(MaxPoolTest, BackwardRoutesGradientToArgmax) {
+  Tensor input({1, 1, 2, 2}, {1, 4, 3, 2});
+  Tensor argmax;
+  (void)MaxPool2x2Forward(input, &argmax);
+  Tensor grad_out({1, 1, 1, 1}, {2.5f});
+  const Tensor grad_in = MaxPool2x2Backward(grad_out, argmax, input.shape());
+  EXPECT_EQ(grad_in[0], 0.0f);
+  EXPECT_EQ(grad_in[1], 2.5f);
+  EXPECT_EQ(grad_in[2], 0.0f);
+}
+
+TEST(MaxPoolTest, MultiChannelShapes) {
+  Tensor input({2, 3, 4, 4});
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i % 7);
+  }
+  Tensor argmax;
+  const Tensor out = MaxPool2x2Forward(input, &argmax);
+  EXPECT_EQ(out.shape(), (Shape{2, 3, 2, 2}));
+  EXPECT_TRUE(argmax.SameShape(out));
+}
+
+}  // namespace
+}  // namespace fedmigr::nn

@@ -1,0 +1,115 @@
+#include "nn/serialize.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/zoo.h"
+#include "util/rng.h"
+
+namespace fedmigr::nn {
+namespace {
+
+Sequential SmallModel(uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(3, 4, &rng));
+  model.Add(std::make_unique<ReLU>());
+  model.Add(std::make_unique<Dense>(4, 2, &rng));
+  return model;
+}
+
+TEST(SerializeTest, FlattenLengthMatchesNumParams) {
+  Sequential model = SmallModel(1);
+  EXPECT_EQ(static_cast<int64_t>(FlattenParams(model).size()),
+            model.NumParams());
+}
+
+TEST(SerializeTest, FlattenUnflattenRoundTrip) {
+  Sequential a = SmallModel(2);
+  Sequential b = SmallModel(3);
+  ASSERT_TRUE(UnflattenParams(FlattenParams(a), &b).ok());
+  EXPECT_EQ(Sequential::ParamDistance(a, b), 0.0);
+}
+
+TEST(SerializeTest, UnflattenRejectsWrongSize) {
+  Sequential model = SmallModel(4);
+  const std::vector<float> wrong(static_cast<size_t>(model.NumParams()) + 1);
+  EXPECT_FALSE(UnflattenParams(wrong, &model).ok());
+}
+
+TEST(SerializeTest, ByteRoundTrip) {
+  Sequential a = SmallModel(5);
+  Sequential b = SmallModel(6);
+  ASSERT_TRUE(DeserializeParams(SerializeParams(a), &b).ok());
+  EXPECT_EQ(Sequential::ParamDistance(a, b), 0.0);
+}
+
+TEST(SerializeTest, ByteSizeIsHeaderPlusFloats) {
+  Sequential model = SmallModel(7);
+  const auto bytes = SerializeParams(model);
+  EXPECT_EQ(bytes.size(),
+            sizeof(uint64_t) +
+                static_cast<size_t>(model.NumParams()) * sizeof(float));
+}
+
+TEST(SerializeTest, DeserializeRejectsTruncatedBuffer) {
+  Sequential model = SmallModel(8);
+  auto bytes = SerializeParams(model);
+  bytes.resize(bytes.size() - 4);
+  EXPECT_FALSE(DeserializeParams(bytes, &model).ok());
+}
+
+TEST(SerializeTest, DeserializeRejectsEmptyBuffer) {
+  Sequential model = SmallModel(9);
+  EXPECT_FALSE(DeserializeParams({}, &model).ok());
+}
+
+TEST(SerializeTest, DeserializeRejectsMismatchedArchitecture) {
+  util::Rng rng(10);
+  Sequential a = SmallModel(11);
+  Sequential bigger;
+  bigger.Add(std::make_unique<Dense>(10, 10, &rng));
+  EXPECT_FALSE(DeserializeParams(SerializeParams(a), &bigger).ok());
+}
+
+TEST(SerializeTest, CheckpointRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fedmigr_ckpt.bin";
+  Sequential a = SmallModel(13);
+  Sequential b = SmallModel(14);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  ASSERT_TRUE(LoadCheckpoint(path, &b).ok());
+  EXPECT_EQ(Sequential::ParamDistance(a, b), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  Sequential model = SmallModel(15);
+  const util::Status status =
+      LoadCheckpoint("/nonexistent/dir/model.bin", &model);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, LoadIntoWrongArchitectureFails) {
+  const std::string path = ::testing::TempDir() + "/fedmigr_ckpt2.bin";
+  Sequential a = SmallModel(16);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  util::Rng rng(17);
+  Sequential other;
+  other.Add(std::make_unique<Dense>(11, 11, &rng));
+  EXPECT_FALSE(LoadCheckpoint(path, &other).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ZooModelsRoundTrip) {
+  util::Rng rng(12);
+  Sequential a = MakeC10Net(&rng);
+  Sequential b = MakeC10Net(&rng);
+  ASSERT_TRUE(DeserializeParams(SerializeParams(a), &b).ok());
+  EXPECT_EQ(Sequential::ParamDistance(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace fedmigr::nn

@@ -1,0 +1,60 @@
+// Optimality-condition property tests for the projected-gradient QP solver:
+// at a solution, each row satisfies the simplex KKT conditions — the
+// gradient coordinate is constant over the support and no larger off it.
+
+#include <gtest/gtest.h>
+
+#include "opt/qp.h"
+#include "util/rng.h"
+
+namespace fedmigr::opt {
+namespace {
+
+class QpKktTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QpKktTest, SolutionSatisfiesRowKkt) {
+  const int k = GetParam();
+  util::Rng rng(static_cast<uint64_t>(k) * 131);
+  Matrix score(static_cast<size_t>(k), std::vector<double>(k));
+  for (auto& row : score) {
+    for (auto& s : row) s = rng.Normal(0.0, 1.0);
+  }
+  QpOptions options;
+  options.max_iterations = 4000;
+  options.step_size = 0.05;
+  options.tolerance = 1e-12;
+  const QpResult result = SolveRowStochasticQp(score, options);
+
+  // Gradient of the (maximization) objective at the solution:
+  // g_ij = score_ij - load_weight * colsum_j.
+  std::vector<double> cols(static_cast<size_t>(k), 0.0);
+  for (const auto& row : result.solution) {
+    for (int j = 0; j < k; ++j) cols[static_cast<size_t>(j)] += row[j];
+  }
+  for (int i = 0; i < k; ++i) {
+    double support_grad = 0.0;
+    double support_mass = 0.0;
+    double max_grad = -1e300;
+    for (int j = 0; j < k; ++j) {
+      const double g = score[static_cast<size_t>(i)][static_cast<size_t>(j)] -
+                       options.load_weight * cols[static_cast<size_t>(j)];
+      const double p = result.solution[static_cast<size_t>(i)]
+                                      [static_cast<size_t>(j)];
+      max_grad = std::max(max_grad, g);
+      if (p > 1e-4) {
+        support_grad += g * p;
+        support_mass += p;
+      }
+    }
+    ASSERT_GT(support_mass, 0.0);
+    // The support's average gradient is within tolerance of the max:
+    // nothing off-support is strictly better.
+    EXPECT_NEAR(support_grad / support_mass, max_grad, 5e-2)
+        << "row " << i << " violates KKT";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QpKktTest, ::testing::Values(2, 4, 8, 12));
+
+}  // namespace
+}  // namespace fedmigr::opt

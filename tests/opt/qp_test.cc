@@ -1,0 +1,103 @@
+#include "opt/qp.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fedmigr::opt {
+namespace {
+
+Matrix RandomScore(int k, uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix score(static_cast<size_t>(k), std::vector<double>(k));
+  for (auto& row : score) {
+    for (auto& s : row) s = rng.Normal(0.0, 1.0);
+  }
+  return score;
+}
+
+bool IsRowStochastic(const Matrix& p) {
+  for (const auto& row : p) {
+    double sum = 0.0;
+    for (double x : row) {
+      if (x < -1e-9) return false;
+      sum += x;
+    }
+    if (std::abs(sum - 1.0) > 1e-6) return false;
+  }
+  return true;
+}
+
+TEST(QpTest, SolutionIsFeasible) {
+  const Matrix score = RandomScore(6, 1);
+  const QpResult result = SolveRowStochasticQp(score, {});
+  EXPECT_TRUE(IsRowStochastic(result.solution));
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(QpTest, ImprovesOverUniformStart) {
+  const Matrix score = RandomScore(5, 2);
+  QpOptions options;
+  const QpResult result = SolveRowStochasticQp(score, options);
+  Matrix uniform(5, std::vector<double>(5, 0.2));
+  EXPECT_GE(result.objective,
+            RowStochasticQpObjective(score, uniform, options.load_weight));
+}
+
+TEST(QpTest, NoLoadTermConcentratesOnRowMax) {
+  // With load_weight 0 the optimum puts all mass on each row's max score.
+  Matrix score = {{1.0, 5.0, 2.0}, {0.0, -1.0, 3.0}, {4.0, 0.0, 0.0}};
+  QpOptions options;
+  options.load_weight = 0.0;
+  options.max_iterations = 2000;
+  options.step_size = 0.2;
+  const QpResult result = SolveRowStochasticQp(score, options);
+  EXPECT_NEAR(result.solution[0][1], 1.0, 1e-3);
+  EXPECT_NEAR(result.solution[1][2], 1.0, 1e-3);
+  EXPECT_NEAR(result.solution[2][0], 1.0, 1e-3);
+}
+
+TEST(QpTest, LoadTermSpreadsColumns) {
+  // Every row prefers column 0; the load penalty must spread the mass.
+  const int k = 4;
+  Matrix score(static_cast<size_t>(k), std::vector<double>(k, 0.0));
+  for (auto& row : score) row[0] = 1.0;
+  QpOptions options;
+  options.load_weight = 5.0;
+  const QpResult result = SolveRowStochasticQp(score, options);
+  double col0 = 0.0;
+  for (const auto& row : result.solution) col0 += row[0];
+  EXPECT_LT(col0, 2.5);  // far from the un-penalized value of 4
+}
+
+TEST(QpTest, ObjectiveMatchesManualComputation) {
+  const Matrix score = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix p = {{0.5, 0.5}, {0.0, 1.0}};
+  // linear = 0.5 + 1 + 4 = 5.5; columns = (0.5, 1.5);
+  // load = 0.25 + 2.25 = 2.5; objective = 5.5 - 0.5 * w * 2.5.
+  EXPECT_DOUBLE_EQ(RowStochasticQpObjective(score, p, 2.0), 5.5 - 2.5);
+}
+
+TEST(QpTest, ConvergesWithinIterationBudget) {
+  const Matrix score = RandomScore(8, 3);
+  QpOptions options;
+  options.max_iterations = 500;
+  options.tolerance = 1e-9;
+  const QpResult result = SolveRowStochasticQp(score, options);
+  EXPECT_LE(result.iterations, 500);
+  // Re-solving from the solver's own output changes little: check by
+  // comparing objective against a longer run.
+  QpOptions longer = options;
+  longer.max_iterations = 2000;
+  const QpResult better = SolveRowStochasticQp(score, longer);
+  EXPECT_NEAR(result.objective, better.objective, 1e-2);
+}
+
+TEST(QpTest, SingleClientDegenerate) {
+  const Matrix score = {{0.0}};
+  const QpResult result = SolveRowStochasticQp(score, {});
+  EXPECT_NEAR(result.solution[0][0], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fedmigr::opt

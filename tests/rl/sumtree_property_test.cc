@@ -1,0 +1,61 @@
+// Randomized consistency properties of the prioritized-replay sum-tree.
+
+#include <gtest/gtest.h>
+
+#include "rl/replay_buffer.h"
+#include "util/rng.h"
+
+namespace fedmigr::rl {
+namespace {
+
+class SumTreePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SumTreePropertyTest, TotalMatchesLeafSumUnderRandomUpdates) {
+  const size_t capacity = GetParam();
+  SumTree tree(capacity);
+  util::Rng rng(capacity * 17);
+  std::vector<double> reference(capacity, 0.0);
+  for (int step = 0; step < 500; ++step) {
+    const size_t index = static_cast<size_t>(
+        rng.UniformInt(static_cast<int>(capacity)));
+    const double priority = rng.Uniform(0.0, 10.0);
+    tree.Set(index, priority);
+    reference[index] = priority;
+    double total = 0.0;
+    for (double p : reference) total += p;
+    ASSERT_NEAR(tree.Total(), total, 1e-9);
+    ASSERT_NEAR(tree.Get(index), priority, 1e-12);
+  }
+}
+
+TEST_P(SumTreePropertyTest, FindAgreesWithLinearScan) {
+  const size_t capacity = GetParam();
+  SumTree tree(capacity);
+  util::Rng rng(capacity * 19 + 1);
+  std::vector<double> reference(capacity, 0.0);
+  for (size_t i = 0; i < capacity; ++i) {
+    reference[i] = rng.Uniform(0.0, 5.0);
+    tree.Set(i, reference[i]);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const double mass = rng.Uniform() * tree.Total();
+    const size_t found = tree.Find(mass);
+    // Linear-scan ground truth.
+    double cumulative = 0.0;
+    size_t expected = capacity - 1;
+    for (size_t i = 0; i < capacity; ++i) {
+      cumulative += reference[i];
+      if (mass < cumulative) {
+        expected = i;
+        break;
+      }
+    }
+    ASSERT_EQ(found, expected) << "mass " << mass;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SumTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 64, 100));
+
+}  // namespace
+}  // namespace fedmigr::rl

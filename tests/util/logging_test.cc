@@ -1,0 +1,64 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::util {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+}
+
+TEST(LoggingTest, SuppressedMessageDoesNotCrash) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  FEDMIGR_LOG(kDebug) << "this line is filtered " << 42;
+  FEDMIGR_LOG(kInfo) << "so is this " << 3.14;
+  SetLogLevel(before);
+  SUCCEED();
+}
+
+TEST(LoggingTest, EmittedMessageDoesNotCrash) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  FEDMIGR_LOG(kError) << "visible test message, ignore";
+  SetLogLevel(before);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ FEDMIGR_CHECK(1 == 2) << "impossible"; }, "CHECK failed");
+}
+
+TEST(LoggingDeathTest, CheckComparisonsAbort) {
+  EXPECT_DEATH({ FEDMIGR_CHECK_EQ(1, 2); }, "CHECK failed");
+  EXPECT_DEATH({ FEDMIGR_CHECK_LT(5, 3); }, "CHECK failed");
+}
+
+TEST(LoggingTest, PassingChecksAreSilent) {
+  FEDMIGR_CHECK(true);
+  FEDMIGR_CHECK_EQ(2, 2);
+  FEDMIGR_CHECK_NE(1, 2);
+  FEDMIGR_CHECK_LE(2, 2);
+  FEDMIGR_CHECK_GE(3, 2);
+  FEDMIGR_CHECK_GT(3, 2);
+  FEDMIGR_CHECK_LT(2, 3);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fedmigr::util

@@ -1,0 +1,79 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad tensor shape");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad tensor shape");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::NotFound("key").ToString(), "NotFound: key");
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal");
+  EXPECT_EQ(Status::ResourceExhausted("budget").ToString(),
+            "ResourceExhausted: budget");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Ok().code(), StatusCode::kOk);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nothing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> result(std::string("abc"));
+  result.value() += "def";
+  EXPECT_EQ(*result, "abcdef");
+  EXPECT_EQ(result->size(), 6u);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  const std::vector<int> moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Succeeds() { return Status::Ok(); }
+
+Status UsesMacro(bool fail) {
+  FEDMIGR_RETURN_IF_ERROR(Succeeds());
+  if (fail) FEDMIGR_RETURN_IF_ERROR(Fails());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesMacro(false).ok());
+  const Status status = UsesMacro(true);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "boom");
+}
+
+}  // namespace
+}  // namespace fedmigr::util

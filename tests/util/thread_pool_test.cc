@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&hits](int i) { hits[static_cast<size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](int) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ParallelForSingleItem) {
+  ThreadPool pool(3);
+  std::atomic<int> value{0};
+  pool.ParallelFor(1, [&value](int i) { value = i + 41; });
+  EXPECT_EQ(value.load(), 41);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(20, [&total](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.ParallelFor(50, [&order](int i) { order.push_back(i); });
+  EXPECT_EQ(order.size(), 50u);
+  // With one worker, items arrive in submission order.
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 30; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+}  // namespace
+}  // namespace fedmigr::util
