@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_privacy.dir/bench_fig4_privacy.cpp.o"
+  "CMakeFiles/bench_fig4_privacy.dir/bench_fig4_privacy.cpp.o.d"
+  "bench_fig4_privacy"
+  "bench_fig4_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

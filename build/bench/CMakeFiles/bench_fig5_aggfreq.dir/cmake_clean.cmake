@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_aggfreq.dir/bench_fig5_aggfreq.cpp.o"
+  "CMakeFiles/bench_fig5_aggfreq.dir/bench_fig5_aggfreq.cpp.o.d"
+  "bench_fig5_aggfreq"
+  "bench_fig5_aggfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_aggfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_linkspeed.dir/bench_fig8_linkspeed.cpp.o"
+  "CMakeFiles/bench_fig8_linkspeed.dir/bench_fig8_linkspeed.cpp.o.d"
+  "bench_fig8_linkspeed"
+  "bench_fig8_linkspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_linkspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

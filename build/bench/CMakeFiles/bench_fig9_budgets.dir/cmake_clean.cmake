@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_budgets.dir/bench_fig9_budgets.cpp.o"
+  "CMakeFiles/bench_fig9_budgets.dir/bench_fig9_budgets.cpp.o.d"
+  "bench_fig9_budgets"
+  "bench_fig9_budgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_budgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

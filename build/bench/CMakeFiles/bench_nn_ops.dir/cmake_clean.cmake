@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nn_ops.dir/bench_nn_ops.cpp.o"
+  "CMakeFiles/bench_nn_ops.dir/bench_nn_ops.cpp.o.d"
+  "bench_nn_ops"
+  "bench_nn_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nn_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

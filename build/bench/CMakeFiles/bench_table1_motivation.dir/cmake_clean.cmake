@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_motivation.dir/bench_table1_motivation.cpp.o"
+  "CMakeFiles/bench_table1_motivation.dir/bench_table1_motivation.cpp.o.d"
+  "bench_table1_motivation"
+  "bench_table1_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_inspect.dir/agent_inspect.cpp.o"
+  "CMakeFiles/agent_inspect.dir/agent_inspect.cpp.o.d"
+  "agent_inspect"
+  "agent_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

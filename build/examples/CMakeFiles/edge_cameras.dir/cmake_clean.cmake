@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cameras.dir/edge_cameras.cpp.o"
+  "CMakeFiles/edge_cameras.dir/edge_cameras.cpp.o.d"
+  "edge_cameras"
+  "edge_cameras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cameras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_sweep.dir/scheme_sweep.cpp.o"
+  "CMakeFiles/scheme_sweep.dir/scheme_sweep.cpp.o.d"
+  "scheme_sweep"
+  "scheme_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

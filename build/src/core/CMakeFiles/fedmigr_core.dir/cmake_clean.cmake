@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_core.dir/experiment.cc.o"
+  "CMakeFiles/fedmigr_core.dir/experiment.cc.o.d"
+  "CMakeFiles/fedmigr_core.dir/fedmigr.cc.o"
+  "CMakeFiles/fedmigr_core.dir/fedmigr.cc.o.d"
+  "libfedmigr_core.a"
+  "libfedmigr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmigr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

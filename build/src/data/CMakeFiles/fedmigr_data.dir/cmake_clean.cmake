@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_data.dir/dataset.cc.o"
+  "CMakeFiles/fedmigr_data.dir/dataset.cc.o.d"
+  "CMakeFiles/fedmigr_data.dir/distribution.cc.o"
+  "CMakeFiles/fedmigr_data.dir/distribution.cc.o.d"
+  "CMakeFiles/fedmigr_data.dir/partition.cc.o"
+  "CMakeFiles/fedmigr_data.dir/partition.cc.o.d"
+  "CMakeFiles/fedmigr_data.dir/synthetic.cc.o"
+  "CMakeFiles/fedmigr_data.dir/synthetic.cc.o.d"
+  "libfedmigr_data.a"
+  "libfedmigr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmigr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

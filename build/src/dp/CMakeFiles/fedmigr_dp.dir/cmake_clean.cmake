@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_dp.dir/accountant.cc.o"
+  "CMakeFiles/fedmigr_dp.dir/accountant.cc.o.d"
+  "CMakeFiles/fedmigr_dp.dir/gaussian.cc.o"
+  "CMakeFiles/fedmigr_dp.dir/gaussian.cc.o.d"
+  "libfedmigr_dp.a"
+  "libfedmigr_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmigr_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/async.cc" "src/fl/CMakeFiles/fedmigr_fl.dir/async.cc.o" "gcc" "src/fl/CMakeFiles/fedmigr_fl.dir/async.cc.o.d"
+  "/root/repo/src/fl/client.cc" "src/fl/CMakeFiles/fedmigr_fl.dir/client.cc.o" "gcc" "src/fl/CMakeFiles/fedmigr_fl.dir/client.cc.o.d"
+  "/root/repo/src/fl/migration.cc" "src/fl/CMakeFiles/fedmigr_fl.dir/migration.cc.o" "gcc" "src/fl/CMakeFiles/fedmigr_fl.dir/migration.cc.o.d"
+  "/root/repo/src/fl/policies.cc" "src/fl/CMakeFiles/fedmigr_fl.dir/policies.cc.o" "gcc" "src/fl/CMakeFiles/fedmigr_fl.dir/policies.cc.o.d"
+  "/root/repo/src/fl/schemes.cc" "src/fl/CMakeFiles/fedmigr_fl.dir/schemes.cc.o" "gcc" "src/fl/CMakeFiles/fedmigr_fl.dir/schemes.cc.o.d"
+  "/root/repo/src/fl/server.cc" "src/fl/CMakeFiles/fedmigr_fl.dir/server.cc.o" "gcc" "src/fl/CMakeFiles/fedmigr_fl.dir/server.cc.o.d"
+  "/root/repo/src/fl/trainer.cc" "src/fl/CMakeFiles/fedmigr_fl.dir/trainer.cc.o" "gcc" "src/fl/CMakeFiles/fedmigr_fl.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fedmigr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fedmigr_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedmigr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedmigr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fedmigr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedmigr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

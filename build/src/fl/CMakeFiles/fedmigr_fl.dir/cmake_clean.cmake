@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_fl.dir/async.cc.o"
+  "CMakeFiles/fedmigr_fl.dir/async.cc.o.d"
+  "CMakeFiles/fedmigr_fl.dir/client.cc.o"
+  "CMakeFiles/fedmigr_fl.dir/client.cc.o.d"
+  "CMakeFiles/fedmigr_fl.dir/migration.cc.o"
+  "CMakeFiles/fedmigr_fl.dir/migration.cc.o.d"
+  "CMakeFiles/fedmigr_fl.dir/policies.cc.o"
+  "CMakeFiles/fedmigr_fl.dir/policies.cc.o.d"
+  "CMakeFiles/fedmigr_fl.dir/schemes.cc.o"
+  "CMakeFiles/fedmigr_fl.dir/schemes.cc.o.d"
+  "CMakeFiles/fedmigr_fl.dir/server.cc.o"
+  "CMakeFiles/fedmigr_fl.dir/server.cc.o.d"
+  "CMakeFiles/fedmigr_fl.dir/trainer.cc.o"
+  "CMakeFiles/fedmigr_fl.dir/trainer.cc.o.d"
+  "libfedmigr_fl.a"
+  "libfedmigr_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmigr_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/budget.cc" "src/net/CMakeFiles/fedmigr_net.dir/budget.cc.o" "gcc" "src/net/CMakeFiles/fedmigr_net.dir/budget.cc.o.d"
+  "/root/repo/src/net/device.cc" "src/net/CMakeFiles/fedmigr_net.dir/device.cc.o" "gcc" "src/net/CMakeFiles/fedmigr_net.dir/device.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/fedmigr_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/fedmigr_net.dir/topology.cc.o.d"
+  "/root/repo/src/net/traffic.cc" "src/net/CMakeFiles/fedmigr_net.dir/traffic.cc.o" "gcc" "src/net/CMakeFiles/fedmigr_net.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fedmigr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

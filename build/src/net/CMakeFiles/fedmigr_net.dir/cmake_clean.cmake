@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_net.dir/budget.cc.o"
+  "CMakeFiles/fedmigr_net.dir/budget.cc.o.d"
+  "CMakeFiles/fedmigr_net.dir/device.cc.o"
+  "CMakeFiles/fedmigr_net.dir/device.cc.o.d"
+  "CMakeFiles/fedmigr_net.dir/topology.cc.o"
+  "CMakeFiles/fedmigr_net.dir/topology.cc.o.d"
+  "CMakeFiles/fedmigr_net.dir/traffic.cc.o"
+  "CMakeFiles/fedmigr_net.dir/traffic.cc.o.d"
+  "libfedmigr_net.a"
+  "libfedmigr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmigr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_nn.dir/init.cc.o"
+  "CMakeFiles/fedmigr_nn.dir/init.cc.o.d"
+  "CMakeFiles/fedmigr_nn.dir/layers.cc.o"
+  "CMakeFiles/fedmigr_nn.dir/layers.cc.o.d"
+  "CMakeFiles/fedmigr_nn.dir/loss.cc.o"
+  "CMakeFiles/fedmigr_nn.dir/loss.cc.o.d"
+  "CMakeFiles/fedmigr_nn.dir/ops.cc.o"
+  "CMakeFiles/fedmigr_nn.dir/ops.cc.o.d"
+  "CMakeFiles/fedmigr_nn.dir/optimizer.cc.o"
+  "CMakeFiles/fedmigr_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/fedmigr_nn.dir/sequential.cc.o"
+  "CMakeFiles/fedmigr_nn.dir/sequential.cc.o.d"
+  "CMakeFiles/fedmigr_nn.dir/serialize.cc.o"
+  "CMakeFiles/fedmigr_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/fedmigr_nn.dir/tensor.cc.o"
+  "CMakeFiles/fedmigr_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/fedmigr_nn.dir/zoo.cc.o"
+  "CMakeFiles/fedmigr_nn.dir/zoo.cc.o.d"
+  "libfedmigr_nn.a"
+  "libfedmigr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmigr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/flmm.cc" "src/opt/CMakeFiles/fedmigr_opt.dir/flmm.cc.o" "gcc" "src/opt/CMakeFiles/fedmigr_opt.dir/flmm.cc.o.d"
+  "/root/repo/src/opt/hungarian.cc" "src/opt/CMakeFiles/fedmigr_opt.dir/hungarian.cc.o" "gcc" "src/opt/CMakeFiles/fedmigr_opt.dir/hungarian.cc.o.d"
+  "/root/repo/src/opt/qp.cc" "src/opt/CMakeFiles/fedmigr_opt.dir/qp.cc.o" "gcc" "src/opt/CMakeFiles/fedmigr_opt.dir/qp.cc.o.d"
+  "/root/repo/src/opt/simplex.cc" "src/opt/CMakeFiles/fedmigr_opt.dir/simplex.cc.o" "gcc" "src/opt/CMakeFiles/fedmigr_opt.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/fedmigr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedmigr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

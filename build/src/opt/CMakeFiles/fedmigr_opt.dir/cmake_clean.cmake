@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_opt.dir/flmm.cc.o"
+  "CMakeFiles/fedmigr_opt.dir/flmm.cc.o.d"
+  "CMakeFiles/fedmigr_opt.dir/hungarian.cc.o"
+  "CMakeFiles/fedmigr_opt.dir/hungarian.cc.o.d"
+  "CMakeFiles/fedmigr_opt.dir/qp.cc.o"
+  "CMakeFiles/fedmigr_opt.dir/qp.cc.o.d"
+  "CMakeFiles/fedmigr_opt.dir/simplex.cc.o"
+  "CMakeFiles/fedmigr_opt.dir/simplex.cc.o.d"
+  "libfedmigr_opt.a"
+  "libfedmigr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmigr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

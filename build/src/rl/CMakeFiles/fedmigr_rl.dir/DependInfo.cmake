@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/agent.cc" "src/rl/CMakeFiles/fedmigr_rl.dir/agent.cc.o" "gcc" "src/rl/CMakeFiles/fedmigr_rl.dir/agent.cc.o.d"
+  "/root/repo/src/rl/policy.cc" "src/rl/CMakeFiles/fedmigr_rl.dir/policy.cc.o" "gcc" "src/rl/CMakeFiles/fedmigr_rl.dir/policy.cc.o.d"
+  "/root/repo/src/rl/pretrain.cc" "src/rl/CMakeFiles/fedmigr_rl.dir/pretrain.cc.o" "gcc" "src/rl/CMakeFiles/fedmigr_rl.dir/pretrain.cc.o.d"
+  "/root/repo/src/rl/replay_buffer.cc" "src/rl/CMakeFiles/fedmigr_rl.dir/replay_buffer.cc.o" "gcc" "src/rl/CMakeFiles/fedmigr_rl.dir/replay_buffer.cc.o.d"
+  "/root/repo/src/rl/state.cc" "src/rl/CMakeFiles/fedmigr_rl.dir/state.cc.o" "gcc" "src/rl/CMakeFiles/fedmigr_rl.dir/state.cc.o.d"
+  "/root/repo/src/rl/surrogate.cc" "src/rl/CMakeFiles/fedmigr_rl.dir/surrogate.cc.o" "gcc" "src/rl/CMakeFiles/fedmigr_rl.dir/surrogate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/fedmigr_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fedmigr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedmigr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedmigr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedmigr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fedmigr_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedmigr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_rl.dir/agent.cc.o"
+  "CMakeFiles/fedmigr_rl.dir/agent.cc.o.d"
+  "CMakeFiles/fedmigr_rl.dir/policy.cc.o"
+  "CMakeFiles/fedmigr_rl.dir/policy.cc.o.d"
+  "CMakeFiles/fedmigr_rl.dir/pretrain.cc.o"
+  "CMakeFiles/fedmigr_rl.dir/pretrain.cc.o.d"
+  "CMakeFiles/fedmigr_rl.dir/replay_buffer.cc.o"
+  "CMakeFiles/fedmigr_rl.dir/replay_buffer.cc.o.d"
+  "CMakeFiles/fedmigr_rl.dir/state.cc.o"
+  "CMakeFiles/fedmigr_rl.dir/state.cc.o.d"
+  "CMakeFiles/fedmigr_rl.dir/surrogate.cc.o"
+  "CMakeFiles/fedmigr_rl.dir/surrogate.cc.o.d"
+  "libfedmigr_rl.a"
+  "libfedmigr_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmigr_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

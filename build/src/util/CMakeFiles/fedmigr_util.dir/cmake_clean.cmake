@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_util.dir/csv.cc.o"
+  "CMakeFiles/fedmigr_util.dir/csv.cc.o.d"
+  "CMakeFiles/fedmigr_util.dir/logging.cc.o"
+  "CMakeFiles/fedmigr_util.dir/logging.cc.o.d"
+  "CMakeFiles/fedmigr_util.dir/rng.cc.o"
+  "CMakeFiles/fedmigr_util.dir/rng.cc.o.d"
+  "CMakeFiles/fedmigr_util.dir/stats.cc.o"
+  "CMakeFiles/fedmigr_util.dir/stats.cc.o.d"
+  "CMakeFiles/fedmigr_util.dir/status.cc.o"
+  "CMakeFiles/fedmigr_util.dir/status.cc.o.d"
+  "CMakeFiles/fedmigr_util.dir/thread_pool.cc.o"
+  "CMakeFiles/fedmigr_util.dir/thread_pool.cc.o.d"
+  "libfedmigr_util.a"
+  "libfedmigr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmigr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

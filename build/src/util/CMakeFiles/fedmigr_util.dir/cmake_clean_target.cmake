@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedmigr_util.a"
+)

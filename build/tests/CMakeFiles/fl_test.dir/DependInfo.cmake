@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fl/async_test.cc" "tests/CMakeFiles/fl_test.dir/fl/async_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/async_test.cc.o.d"
+  "/root/repo/tests/fl/client_test.cc" "tests/CMakeFiles/fl_test.dir/fl/client_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/client_test.cc.o.d"
+  "/root/repo/tests/fl/migration_test.cc" "tests/CMakeFiles/fl_test.dir/fl/migration_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/migration_test.cc.o.d"
+  "/root/repo/tests/fl/participation_test.cc" "tests/CMakeFiles/fl_test.dir/fl/participation_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/participation_test.cc.o.d"
+  "/root/repo/tests/fl/policies_test.cc" "tests/CMakeFiles/fl_test.dir/fl/policies_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/policies_test.cc.o.d"
+  "/root/repo/tests/fl/schemes_test.cc" "tests/CMakeFiles/fl_test.dir/fl/schemes_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/schemes_test.cc.o.d"
+  "/root/repo/tests/fl/server_test.cc" "tests/CMakeFiles/fl_test.dir/fl/server_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/server_test.cc.o.d"
+  "/root/repo/tests/fl/trainer_property_test.cc" "tests/CMakeFiles/fl_test.dir/fl/trainer_property_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/trainer_property_test.cc.o.d"
+  "/root/repo/tests/fl/trainer_test.cc" "tests/CMakeFiles/fl_test.dir/fl/trainer_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/trainer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedmigr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/fedmigr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/fedmigr_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fedmigr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fedmigr_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedmigr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedmigr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedmigr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedmigr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

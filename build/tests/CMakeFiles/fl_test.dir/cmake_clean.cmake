@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_test.dir/fl/async_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/async_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/client_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/client_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/migration_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/migration_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/participation_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/participation_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/policies_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/policies_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/schemes_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/schemes_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/server_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/server_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/trainer_property_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/trainer_property_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/trainer_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/trainer_test.cc.o.d"
+  "fl_test"
+  "fl_test.pdb"
+  "fl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

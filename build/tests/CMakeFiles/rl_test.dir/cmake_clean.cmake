@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_test.dir/rl/agent_test.cc.o"
+  "CMakeFiles/rl_test.dir/rl/agent_test.cc.o.d"
+  "CMakeFiles/rl_test.dir/rl/policy_test.cc.o"
+  "CMakeFiles/rl_test.dir/rl/policy_test.cc.o.d"
+  "CMakeFiles/rl_test.dir/rl/pretrain_test.cc.o"
+  "CMakeFiles/rl_test.dir/rl/pretrain_test.cc.o.d"
+  "CMakeFiles/rl_test.dir/rl/replay_buffer_test.cc.o"
+  "CMakeFiles/rl_test.dir/rl/replay_buffer_test.cc.o.d"
+  "CMakeFiles/rl_test.dir/rl/state_test.cc.o"
+  "CMakeFiles/rl_test.dir/rl/state_test.cc.o.d"
+  "CMakeFiles/rl_test.dir/rl/sumtree_property_test.cc.o"
+  "CMakeFiles/rl_test.dir/rl/sumtree_property_test.cc.o.d"
+  "CMakeFiles/rl_test.dir/rl/surrogate_test.cc.o"
+  "CMakeFiles/rl_test.dir/rl/surrogate_test.cc.o.d"
+  "rl_test"
+  "rl_test.pdb"
+  "rl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
