@@ -1,0 +1,66 @@
+// Fault tolerance — accuracy and cost of FedAvg / RandMigr / FedMigr under
+// increasing link failure rates.
+//
+// Not a figure of the paper: the paper assumes reliable transfers, but its
+// setting (edge nodes that "dynamically join and leave", WAN links between
+// LANs) makes in-flight failures the realistic regime — this bench measures
+// how gracefully each scheme degrades. Every failed attempt still burns
+// bandwidth and time; C2C migrations that exhaust their retries fall back
+// through the parameter server (charged as C2S). Expected shape: accuracy
+// decays slowly with the failure rate (lost uploads reweight the round,
+// lost migrations keep the stale replica), while traffic and wall-clock
+// grow with the retry/fallback overhead.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace fedmigr;
+
+  const double failure_rates[] = {0.0, 0.05, 0.1, 0.2, 0.4};
+  const char* schemes[] = {"fedavg", "randmigr", "fedmigr"};
+  constexpr int kEpochs = 60;
+
+  bench::BenchWorkloadOptions workload_options;
+  workload_options.partition = core::PartitionKind::kLanShard;
+  const core::Workload workload = bench::MakeBenchWorkload(workload_options);
+
+  std::printf(
+      "Fault tolerance: accuracy/cost vs link failure rate\n"
+      "(C10 analogue, LAN-correlated non-IID, %d epochs, agg every 5, "
+      "retries=2 with backoff, server fallback on)\n\n",
+      kEpochs);
+  util::TableWriter table({"scheme", "p(fail)", "acc (%)", "traffic (GB)",
+                           "time (s)", "attempts", "failures", "retries",
+                           "fallbacks", "aborted"});
+  for (const char* scheme : schemes) {
+    for (double rate : failure_rates) {
+      bench::BenchRunOptions run;
+      run.max_epochs = kEpochs;
+      run.eval_every = 20;
+      run.fault.link_failure_prob = rate;
+      const fl::RunResult result = bench::RunBench(workload, scheme, run);
+      table.AddRow();
+      table.AddCell(scheme);
+      table.AddCell(rate, 2);
+      table.AddCell(100.0 * result.final_accuracy, 1);
+      table.AddCell(result.traffic_gb, 3);
+      table.AddCell(result.time_s, 1);
+      table.AddCell(static_cast<int>(result.faults.attempts));
+      table.AddCell(static_cast<int>(result.faults.failures));
+      table.AddCell(static_cast<int>(result.faults.retries));
+      table.AddCell(static_cast<int>(result.faults.fallbacks));
+      table.AddCell(static_cast<int>(result.faults.aborted_transfers));
+    }
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nReading: p(fail)=0 rows are bit-identical to the fault-free bench "
+      "path (the\ninjector is a strict no-op); under loss, accuracy degrades "
+      "gracefully while\nretries/fallbacks inflate traffic and time.\n");
+  return 0;
+}

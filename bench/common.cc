@@ -50,6 +50,7 @@ fl::SchemeSetup MakeBenchScheme(const std::string& name,
   setup.config.target_accuracy = options.target_accuracy;
   setup.config.budget = options.budget;
   setup.config.dp = options.dp;
+  setup.config.fault = options.fault;
   setup.config.seed = options.seed;
   return setup;
 }

@@ -18,6 +18,7 @@
 #include "dp/gaussian.h"
 #include "fl/schemes.h"
 #include "net/budget.h"
+#include "net/fault.h"
 
 namespace fedmigr::bench {
 
@@ -43,6 +44,8 @@ struct BenchRunOptions {
   double target_accuracy = -1.0;
   net::Budget budget;
   dp::DpConfig dp;
+  // Fault model for the run (default: disabled, the fault-free path).
+  net::FaultConfig fault;
   uint64_t seed = 1;
 };
 

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fault_tolerance.cpp" "bench/CMakeFiles/bench_fault_tolerance.dir/bench_fault_tolerance.cpp.o" "gcc" "bench/CMakeFiles/bench_fault_tolerance.dir/bench_fault_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fedmigr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/fedmigr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/fedmigr_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fedmigr_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fedmigr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedmigr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedmigr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedmigr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedmigr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -218,4 +218,7 @@ bench/CMakeFiles/bench_fig6_scalability.dir/bench_fig6_scalability.cpp.o: \
  /root/repo/src/nn/layer.h /root/repo/src/nn/tensor.h \
  /root/repo/src/rl/replay_buffer.h /root/repo/src/rl/state.h \
  /root/repo/src/fl/policies.h /root/repo/src/fl/migration.h \
- /root/repo/src/net/traffic.h /root/repo/src/net/budget.h
+ /root/repo/src/net/fault.h /root/repo/src/net/traffic.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/net/budget.h

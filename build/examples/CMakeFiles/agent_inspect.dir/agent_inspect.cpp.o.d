@@ -207,9 +207,12 @@ examples/CMakeFiles/agent_inspect.dir/agent_inspect.cpp.o: \
  /root/repo/src/nn/tensor.h /usr/include/c++/12/cstddef \
  /root/repo/src/rl/replay_buffer.h /root/repo/src/util/rng.h \
  /root/repo/src/rl/state.h /root/repo/src/fl/policies.h \
- /root/repo/src/fl/migration.h /root/repo/src/net/topology.h \
+ /root/repo/src/fl/migration.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/limits /root/repo/src/net/topology.h \
  /root/repo/src/net/traffic.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/budget.h \
- /usr/include/c++/12/limits /root/repo/src/opt/flmm.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/net/budget.h /root/repo/src/opt/flmm.h \
  /root/repo/src/opt/qp.h /root/repo/src/rl/pretrain.h \
  /root/repo/src/rl/surrogate.h

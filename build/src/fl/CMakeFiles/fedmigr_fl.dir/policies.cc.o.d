@@ -198,6 +198,7 @@ src/fl/CMakeFiles/fedmigr_fl.dir/policies.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/fl/migration.h \
+ /root/repo/src/net/fault.h /usr/include/c++/12/limits \
  /root/repo/src/net/topology.h /root/repo/src/util/rng.h \
  /root/repo/src/net/traffic.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
@@ -205,8 +206,10 @@ src/fl/CMakeFiles/fedmigr_fl.dir/policies.cc.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/budget.h \
- /usr/include/c++/12/limits /root/repo/src/opt/flmm.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/net/budget.h /root/repo/src/opt/flmm.h \
  /root/repo/src/opt/qp.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

@@ -213,17 +213,18 @@ src/fl/CMakeFiles/fedmigr_fl.dir/trainer.cc.o: \
  /root/repo/src/dp/gaussian.h /root/repo/src/nn/sequential.h \
  /root/repo/src/nn/layer.h /root/repo/src/fl/client.h \
  /root/repo/src/nn/optimizer.h /root/repo/src/fl/policies.h \
- /root/repo/src/fl/migration.h /root/repo/src/net/topology.h \
+ /root/repo/src/fl/migration.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/limits /root/repo/src/net/topology.h \
  /root/repo/src/net/traffic.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/budget.h \
- /usr/include/c++/12/limits /root/repo/src/opt/flmm.h \
- /root/repo/src/opt/qp.h /root/repo/src/fl/server.h \
- /root/repo/src/net/device.h /root/repo/src/util/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional /root/repo/src/net/budget.h \
+ /root/repo/src/opt/flmm.h /root/repo/src/opt/qp.h \
+ /root/repo/src/fl/server.h /root/repo/src/net/device.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -257,7 +258,7 @@ src/fl/CMakeFiles/fedmigr_fl.dir/trainer.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/data/distribution.h /root/repo/src/util/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/data/distribution.h /root/repo/src/nn/serialize.h \
+ /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/budget.cc" "src/net/CMakeFiles/fedmigr_net.dir/budget.cc.o" "gcc" "src/net/CMakeFiles/fedmigr_net.dir/budget.cc.o.d"
   "/root/repo/src/net/device.cc" "src/net/CMakeFiles/fedmigr_net.dir/device.cc.o" "gcc" "src/net/CMakeFiles/fedmigr_net.dir/device.cc.o.d"
+  "/root/repo/src/net/fault.cc" "src/net/CMakeFiles/fedmigr_net.dir/fault.cc.o" "gcc" "src/net/CMakeFiles/fedmigr_net.dir/fault.cc.o.d"
   "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/fedmigr_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/fedmigr_net.dir/topology.cc.o.d"
   "/root/repo/src/net/traffic.cc" "src/net/CMakeFiles/fedmigr_net.dir/traffic.cc.o" "gcc" "src/net/CMakeFiles/fedmigr_net.dir/traffic.cc.o.d"
   )

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/fedmigr_net.dir/budget.cc.o.d"
   "CMakeFiles/fedmigr_net.dir/device.cc.o"
   "CMakeFiles/fedmigr_net.dir/device.cc.o.d"
+  "CMakeFiles/fedmigr_net.dir/fault.cc.o"
+  "CMakeFiles/fedmigr_net.dir/fault.cc.o.d"
   "CMakeFiles/fedmigr_net.dir/topology.cc.o"
   "CMakeFiles/fedmigr_net.dir/topology.cc.o.d"
   "CMakeFiles/fedmigr_net.dir/traffic.cc.o"

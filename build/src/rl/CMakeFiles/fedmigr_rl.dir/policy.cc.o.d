@@ -197,15 +197,18 @@ src/rl/CMakeFiles/fedmigr_rl.dir/policy.cc.o: /root/repo/src/rl/policy.cc \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/fl/policies.h \
- /root/repo/src/fl/migration.h /root/repo/src/net/topology.h \
+ /root/repo/src/fl/migration.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/limits /root/repo/src/net/topology.h \
  /root/repo/src/util/rng.h /root/repo/src/net/traffic.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/budget.h \
- /usr/include/c++/12/limits /root/repo/src/opt/flmm.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/net/budget.h /root/repo/src/opt/flmm.h \
  /root/repo/src/opt/qp.h /root/repo/src/rl/agent.h \
  /root/repo/src/nn/optimizer.h /root/repo/src/nn/sequential.h \
  /root/repo/src/nn/layer.h /root/repo/src/nn/tensor.h \

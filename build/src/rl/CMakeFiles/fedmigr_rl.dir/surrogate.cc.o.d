@@ -232,17 +232,20 @@ src/rl/CMakeFiles/fedmigr_rl.dir/surrogate.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/fl/migration.h /root/repo/src/net/traffic.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/fl/migration.h /root/repo/src/net/fault.h \
+ /root/repo/src/net/traffic.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/opt/flmm.h \
- /root/repo/src/opt/qp.h /root/repo/src/rl/agent.h \
- /root/repo/src/nn/optimizer.h /root/repo/src/nn/sequential.h \
- /root/repo/src/nn/layer.h /root/repo/src/rl/replay_buffer.h \
- /root/repo/src/rl/state.h /root/repo/src/util/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/opt/flmm.h /root/repo/src/opt/qp.h \
+ /root/repo/src/rl/agent.h /root/repo/src/nn/optimizer.h \
+ /root/repo/src/nn/sequential.h /root/repo/src/nn/layer.h \
+ /root/repo/src/rl/replay_buffer.h /root/repo/src/rl/state.h \
+ /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

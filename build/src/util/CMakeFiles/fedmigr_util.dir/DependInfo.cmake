@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/crc32.cc" "src/util/CMakeFiles/fedmigr_util.dir/crc32.cc.o" "gcc" "src/util/CMakeFiles/fedmigr_util.dir/crc32.cc.o.d"
   "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/fedmigr_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/fedmigr_util.dir/csv.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/fedmigr_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/fedmigr_util.dir/logging.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/fedmigr_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/fedmigr_util.dir/rng.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/fedmigr_util.dir/crc32.cc.o"
+  "CMakeFiles/fedmigr_util.dir/crc32.cc.o.d"
   "CMakeFiles/fedmigr_util.dir/csv.cc.o"
   "CMakeFiles/fedmigr_util.dir/csv.cc.o.d"
   "CMakeFiles/fedmigr_util.dir/logging.cc.o"

@@ -297,8 +297,9 @@ tests/CMakeFiles/core_test.dir/core/determinism_test.cc.o: \
  /root/repo/src/data/dataset.h /root/repo/src/nn/tensor.h \
  /root/repo/src/util/rng.h /root/repo/src/data/synthetic.h \
  /root/repo/src/fl/schemes.h /root/repo/src/fl/policies.h \
- /root/repo/src/fl/migration.h /root/repo/src/net/topology.h \
- /root/repo/src/net/traffic.h /root/repo/src/net/budget.h \
+ /root/repo/src/fl/migration.h /root/repo/src/net/fault.h \
+ /root/repo/src/net/topology.h /root/repo/src/net/traffic.h \
+ /root/repo/src/util/status.h /root/repo/src/net/budget.h \
  /root/repo/src/opt/flmm.h /root/repo/src/opt/qp.h \
  /root/repo/src/fl/trainer.h /root/repo/src/dp/gaussian.h \
  /root/repo/src/nn/sequential.h /root/repo/src/nn/layer.h \

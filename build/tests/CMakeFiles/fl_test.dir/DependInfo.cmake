@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/fl/async_test.cc" "tests/CMakeFiles/fl_test.dir/fl/async_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/async_test.cc.o.d"
   "/root/repo/tests/fl/client_test.cc" "tests/CMakeFiles/fl_test.dir/fl/client_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/client_test.cc.o.d"
+  "/root/repo/tests/fl/fault_tolerance_test.cc" "tests/CMakeFiles/fl_test.dir/fl/fault_tolerance_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/fault_tolerance_test.cc.o.d"
   "/root/repo/tests/fl/migration_test.cc" "tests/CMakeFiles/fl_test.dir/fl/migration_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/migration_test.cc.o.d"
   "/root/repo/tests/fl/participation_test.cc" "tests/CMakeFiles/fl_test.dir/fl/participation_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/participation_test.cc.o.d"
   "/root/repo/tests/fl/policies_test.cc" "tests/CMakeFiles/fl_test.dir/fl/policies_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/policies_test.cc.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/fl_test.dir/fl/async_test.cc.o.d"
   "CMakeFiles/fl_test.dir/fl/client_test.cc.o"
   "CMakeFiles/fl_test.dir/fl/client_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/fault_tolerance_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/fault_tolerance_test.cc.o.d"
   "CMakeFiles/fl_test.dir/fl/migration_test.cc.o"
   "CMakeFiles/fl_test.dir/fl/migration_test.cc.o.d"
   "CMakeFiles/fl_test.dir/fl/participation_test.cc.o"

@@ -213,17 +213,18 @@ tests/CMakeFiles/fl_test.dir/fl/trainer_test.cc.o: \
  /root/repo/src/dp/gaussian.h /root/repo/src/nn/sequential.h \
  /root/repo/src/nn/layer.h /root/repo/src/fl/client.h \
  /root/repo/src/nn/optimizer.h /root/repo/src/fl/policies.h \
- /root/repo/src/fl/migration.h /root/repo/src/net/topology.h \
+ /root/repo/src/fl/migration.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/limits /root/repo/src/net/topology.h \
  /root/repo/src/net/traffic.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/budget.h \
- /usr/include/c++/12/limits /root/repo/src/opt/flmm.h \
- /root/repo/src/opt/qp.h /root/repo/src/fl/server.h \
- /root/repo/src/net/device.h /root/repo/src/util/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional /root/repo/src/net/budget.h \
+ /root/repo/src/opt/flmm.h /root/repo/src/opt/qp.h \
+ /root/repo/src/fl/server.h /root/repo/src/net/device.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -262,8 +263,7 @@ tests/CMakeFiles/fl_test.dir/fl/trainer_test.cc.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional /usr/include/c++/12/variant \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \

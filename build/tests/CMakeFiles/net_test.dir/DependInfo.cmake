@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/net/budget_test.cc" "tests/CMakeFiles/net_test.dir/net/budget_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/budget_test.cc.o.d"
   "/root/repo/tests/net/device_test.cc" "tests/CMakeFiles/net_test.dir/net/device_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/device_test.cc.o.d"
+  "/root/repo/tests/net/fault_test.cc" "tests/CMakeFiles/net_test.dir/net/fault_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/fault_test.cc.o.d"
   "/root/repo/tests/net/topology_test.cc" "tests/CMakeFiles/net_test.dir/net/topology_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/topology_test.cc.o.d"
   "/root/repo/tests/net/traffic_test.cc" "tests/CMakeFiles/net_test.dir/net/traffic_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/traffic_test.cc.o.d"
   )

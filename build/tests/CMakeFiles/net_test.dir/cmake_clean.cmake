@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/net_test.dir/net/budget_test.cc.o.d"
   "CMakeFiles/net_test.dir/net/device_test.cc.o"
   "CMakeFiles/net_test.dir/net/device_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/fault_test.cc.o"
+  "CMakeFiles/net_test.dir/net/fault_test.cc.o.d"
   "CMakeFiles/net_test.dir/net/topology_test.cc.o"
   "CMakeFiles/net_test.dir/net/topology_test.cc.o.d"
   "CMakeFiles/net_test.dir/net/traffic_test.cc.o"

@@ -202,15 +202,18 @@ tests/CMakeFiles/rl_test.dir/rl/pretrain_test.cc.o: \
  /root/repo/src/nn/tensor.h /usr/include/c++/12/cstddef \
  /root/repo/src/rl/replay_buffer.h /root/repo/src/util/rng.h \
  /root/repo/src/rl/state.h /root/repo/src/fl/policies.h \
- /root/repo/src/fl/migration.h /root/repo/src/net/topology.h \
+ /root/repo/src/fl/migration.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/limits /root/repo/src/net/topology.h \
  /root/repo/src/net/traffic.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/budget.h \
- /usr/include/c++/12/limits /root/repo/src/opt/flmm.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/net/budget.h /root/repo/src/opt/flmm.h \
  /root/repo/src/opt/qp.h /root/repo/src/rl/surrogate.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
@@ -241,10 +244,8 @@ tests/CMakeFiles/rl_test.dir/rl/pretrain_test.cc.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \

@@ -296,5 +296,6 @@ tests/CMakeFiles/rl_test.dir/rl/surrogate_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/rl/state.h /root/repo/src/fl/policies.h \
- /root/repo/src/fl/migration.h /root/repo/src/net/traffic.h \
+ /root/repo/src/fl/migration.h /root/repo/src/net/fault.h \
+ /root/repo/src/net/traffic.h /root/repo/src/util/status.h \
  /root/repo/src/opt/flmm.h /root/repo/src/opt/qp.h

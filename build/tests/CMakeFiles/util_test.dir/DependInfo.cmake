@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/crc32_test.cc" "tests/CMakeFiles/util_test.dir/util/crc32_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/crc32_test.cc.o.d"
   "/root/repo/tests/util/csv_test.cc" "tests/CMakeFiles/util_test.dir/util/csv_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/csv_test.cc.o.d"
   "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/util_test.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/logging_test.cc.o.d"
   "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/crc32_test.cc.o"
+  "CMakeFiles/util_test.dir/util/crc32_test.cc.o.d"
   "CMakeFiles/util_test.dir/util/csv_test.cc.o"
   "CMakeFiles/util_test.dir/util/csv_test.cc.o.d"
   "CMakeFiles/util_test.dir/util/logging_test.cc.o"

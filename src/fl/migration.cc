@@ -54,31 +54,94 @@ MigrationPlan PlanFromDestinations(const std::vector<int>& destination,
 MigrationCost CostAndRecord(const MigrationPlan& plan,
                             const net::Topology& topology, int64_t model_bytes,
                             net::TrafficAccountant* traffic) {
-  MigrationCost cost;
+  return ExecuteWithFaults(plan, topology, model_bytes, traffic,
+                           /*faults=*/nullptr)
+      .cost;
+}
+
+MigrationExecution ExecuteWithFaults(const MigrationPlan& plan,
+                                     const net::Topology& topology,
+                                     int64_t model_bytes,
+                                     net::TrafficAccountant* traffic,
+                                     net::FaultInjector* faults) {
+  const bool faulty = faults != nullptr && faults->enabled();
+  MigrationExecution exec;
+  exec.delivered.assign(plan.incoming.size(), false);
+  exec.corrupted.assign(plan.incoming.size(), false);
   for (size_t j = 0; j < plan.incoming.size(); ++j) {
     const int src = plan.incoming[j];
     const int dst = static_cast<int>(j);
     if (src == dst) continue;
-    ++cost.num_moves;
+    ++exec.cost.num_moves;
     double seconds = 0.0;
-    if (plan.via_server) {
-      // Two WAN hops: src -> server, server -> dst.
-      seconds = topology.TransferSeconds(src, net::kServerId, model_bytes) +
-                topology.TransferSeconds(net::kServerId, dst, model_bytes);
-      cost.bytes += 2 * model_bytes;
-      if (traffic != nullptr) {
-        traffic->Record(src, net::kServerId, model_bytes);
-        traffic->Record(net::kServerId, dst, model_bytes);
+    bool delivered = true;
+    bool corrupted = false;
+    if (!faulty) {
+      if (plan.via_server) {
+        // Two WAN hops: src -> server, server -> dst.
+        seconds = topology.TransferSeconds(src, net::kServerId, model_bytes) +
+                  topology.TransferSeconds(net::kServerId, dst, model_bytes);
+        exec.cost.bytes += 2 * model_bytes;
+        if (traffic != nullptr) {
+          traffic->Record(src, net::kServerId, model_bytes);
+          traffic->Record(net::kServerId, dst, model_bytes);
+        }
+      } else {
+        seconds = topology.TransferSeconds(src, dst, model_bytes);
+        exec.cost.bytes += model_bytes;
+        if (traffic != nullptr) traffic->Record(src, dst, model_bytes);
+      }
+    } else if (plan.via_server) {
+      const net::TransferResult up =
+          faults->Transfer(src, net::kServerId, model_bytes, topology, traffic);
+      seconds = up.seconds;
+      exec.cost.bytes += up.bytes;
+      if (up.status.ok()) {
+        const net::TransferResult down = faults->Transfer(
+            net::kServerId, dst, model_bytes, topology, traffic);
+        seconds += down.seconds;
+        exec.cost.bytes += down.bytes;
+        delivered = down.status.ok();
+        corrupted = up.corrupted || down.corrupted;
+      } else {
+        delivered = false;
       }
     } else {
-      seconds = topology.TransferSeconds(src, dst, model_bytes);
-      cost.bytes += model_bytes;
-      if (traffic != nullptr) traffic->Record(src, dst, model_bytes);
+      const net::TransferResult direct =
+          faults->Transfer(src, dst, model_bytes, topology, traffic);
+      seconds = direct.seconds;
+      exec.cost.bytes += direct.bytes;
+      delivered = direct.status.ok();
+      corrupted = direct.corrupted;
+      if (!delivered && faults->config().server_fallback) {
+        // The direct link gave up: re-route through the parameter server,
+        // charged as C2S both ways.
+        ++exec.fallback_moves;
+        ++faults->mutable_counters()->fallbacks;
+        const net::TransferResult up = faults->Transfer(
+            src, net::kServerId, model_bytes, topology, traffic);
+        seconds += up.seconds;
+        exec.cost.bytes += up.bytes;
+        if (up.status.ok()) {
+          const net::TransferResult down = faults->Transfer(
+              net::kServerId, dst, model_bytes, topology, traffic);
+          seconds += down.seconds;
+          exec.cost.bytes += down.bytes;
+          delivered = down.status.ok();
+          corrupted = up.corrupted || down.corrupted;
+        }
+      }
+    }
+    if (delivered) {
+      exec.delivered[j] = true;
+      exec.corrupted[j] = corrupted;
+    } else {
+      ++exec.failed_moves;
     }
     // Transfers run in parallel; the round takes as long as the slowest.
-    cost.seconds = std::max(cost.seconds, seconds);
+    exec.cost.seconds = std::max(exec.cost.seconds, seconds);
   }
-  return cost;
+  return exec;
 }
 
 }  // namespace fedmigr::fl

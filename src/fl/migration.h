@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/topology.h"
 #include "net/traffic.h"
 
@@ -52,6 +53,32 @@ struct MigrationCost {
 MigrationCost CostAndRecord(const MigrationPlan& plan,
                             const net::Topology& topology, int64_t model_bytes,
                             net::TrafficAccountant* traffic);
+
+// Outcome of executing a plan over a faulty network. `delivered[j]` is true
+// when destination j actually received its planned model; a move that is
+// not delivered degrades gracefully — j simply keeps the model it had.
+// `corrupted[j]` marks deliveries whose payload arrived bit-flipped (the
+// receiver's checksum rejects those; callers treat them as undelivered and
+// count a corrupt_reject).
+struct MigrationExecution {
+  MigrationCost cost;
+  std::vector<bool> delivered;
+  std::vector<bool> corrupted;
+  int failed_moves = 0;    // moves that never reached their destination
+  int fallback_moves = 0;  // C2C moves re-routed through the server (C2S)
+};
+
+// Executes `plan` through the fault-aware transfer path. Failed attempts,
+// retries and fallback hops are all charged to `traffic` and to the
+// returned cost. When `faults` is null or disabled this is exactly
+// CostAndRecord with every move delivered. A C2C move whose direct link
+// gives up is re-routed via the server (two C2S hops) when the injector's
+// `server_fallback` is set; via-server plans have no further fallback.
+MigrationExecution ExecuteWithFaults(const MigrationPlan& plan,
+                                     const net::Topology& topology,
+                                     int64_t model_bytes,
+                                     net::TrafficAccountant* traffic,
+                                     net::FaultInjector* faults);
 
 }  // namespace fedmigr::fl
 

@@ -19,8 +19,12 @@ std::vector<std::vector<double>> MigrationGainMatrix(
   const size_t k = model.size();
   std::vector<std::vector<double>> gain(k, std::vector<double>(k, 0.0));
   for (size_t i = 0; i < k; ++i) {
+    // A crashed/unavailable source cannot send this epoch: its whole row
+    // stays zero, so gain-driven planners (MaxEmd, FLMM, DRL) leave it put.
+    if (!ClientAvailable(ctx, static_cast<int>(i))) continue;
     for (size_t j = 0; j < k; ++j) {
       if (i == j) continue;
+      if (!ClientAvailable(ctx, static_cast<int>(j))) continue;
       gain[i][j] = data::EmdDistance(model[i], client[j]);
     }
   }

@@ -39,7 +39,18 @@ struct PolicyContext {
   double global_loss = 0.0;
   const net::Budget* budget = nullptr;
   util::Rng* rng = nullptr;
+  // Per-client availability this epoch (crashes, dropout). nullptr means
+  // everyone is up. Learned planners mask unavailable clients out of their
+  // action space; the trainer additionally cancels any planned move that
+  // touches an unavailable endpoint.
+  const std::vector<bool>* available = nullptr;
 };
+
+// Availability lookup against ctx.available (true when the vector is absent).
+inline bool ClientAvailable(const PolicyContext& ctx, int client) {
+  return ctx.available == nullptr ||
+         (*ctx.available)[static_cast<size_t>(client)];
+}
 
 // Per-epoch outcome handed back to the policy after its plan executed.
 // Learned policies (the DRL agent) turn this into the reward of

@@ -4,9 +4,25 @@
 #include <cmath>
 
 #include "data/distribution.h"
+#include "nn/serialize.h"
 #include "util/logging.h"
 
 namespace fedmigr::fl {
+
+namespace {
+
+// Models a bit-flipped payload reaching a receiver: the real serialized
+// frame is built, one payload bit is flipped, and the checksum verdict of
+// DeserializeParams decides whether the payload is rejected. Returns true
+// when the corruption was caught (the receiver keeps its current model).
+bool CorruptedPayloadRejected(const nn::Sequential& model) {
+  std::vector<uint8_t> bytes = nn::SerializeParams(model);
+  bytes[bytes.size() / 2] ^= 0x08;
+  nn::Sequential scratch = model;
+  return !nn::DeserializeParams(bytes, &scratch).ok();
+}
+
+}  // namespace
 
 Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
                  data::Partition partition, const data::Dataset* test,
@@ -21,6 +37,7 @@ Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
       devices_(std::move(devices)),
       policy_(std::move(policy)),
       budget_(config_.budget),
+      faults_(config_.fault),
       rng_(config_.seed),
       pool_(std::max(1, config_.num_threads)) {
   FEDMIGR_CHECK(train_ != nullptr);
@@ -77,10 +94,14 @@ void Trainer::ResampleParticipants() {
 }
 
 void Trainer::RollAvailability() {
+  // Crash/straggler state rolls on the injector's own RNG stream, so the
+  // trainer's stream (and thus the fault-free trajectory) is untouched.
+  faults_.BeginEpoch(num_clients());
   for (size_t i = 0; i < available_.size(); ++i) {
     available_[i] = participating_[i] &&
                     (config_.dropout_prob == 0.0 ||
-                     !rng_.Bernoulli(config_.dropout_prob));
+                     !rng_.Bernoulli(config_.dropout_prob)) &&
+                    !faults_.IsCrashed(static_cast<int>(i));
   }
 }
 
@@ -116,7 +137,8 @@ double Trainer::LocalUpdatePhase(double* phase_seconds) {
     budget_.ConsumeCompute(static_cast<double>(res.samples_processed));
     slowest = std::max(
         slowest, net::ComputeSeconds(devices_[static_cast<size_t>(i)],
-                                     res.samples_processed, model_params_));
+                                     res.samples_processed, model_params_) *
+                     faults_.SlowdownFactor(i));
     // The resident model absorbs this client's distribution. Clients with
     // no local data (possible under extreme partitions) change nothing.
     if (n > 0.0) {
@@ -134,52 +156,87 @@ double Trainer::LocalUpdatePhase(double* phase_seconds) {
 
 Evaluation Trainer::AggregationPhase(bool evaluate) {
   const int k = num_clients();
-  // Upload: every client sends its model over the WAN. A shared WAN
-  // serializes the uploads; independent paths overlap them.
-  // Only the α-selected clients upload and enter the average; the fresh
-  // global model is redistributed to everyone.
+  const bool faulty = faults_.enabled();
+  const double upload_deadline = config_.fault.upload_deadline_s;
+  // Upload: every healthy α-selected client sends its model over the WAN
+  // through the fault-aware path (retries/backoff are charged to traffic
+  // and clock). A shared WAN serializes the uploads; independent paths
+  // overlap them. Only uploads that survive the link, arrive before the
+  // straggler deadline and pass the checksum enter the average; the round
+  // is reweighted over whatever arrived.
   double upload_seconds = 0.0;
+  std::vector<bool> arrived(static_cast<size_t>(k), false);
   for (int i = 0; i < k; ++i) {
     if (!participating_[static_cast<size_t>(i)]) continue;
+    if (faulty && faults_.IsCrashed(i)) continue;
     ApplyDp(&clients_[static_cast<size_t>(i)]->model());
-    const double t =
-        topology_.TransferSeconds(i, net::kServerId, model_bytes_);
-    upload_seconds = config_.wan_shared ? upload_seconds + t
-                                        : std::max(upload_seconds, t);
-    traffic_.Record(i, net::kServerId, model_bytes_);
-    budget_.ConsumeBandwidth(static_cast<double>(model_bytes_));
+    const net::TransferResult res = faults_.Transfer(
+        i, net::kServerId, model_bytes_, topology_, &traffic_);
+    const double arrival =
+        config_.wan_shared ? upload_seconds + res.seconds : res.seconds;
+    upload_seconds = config_.wan_shared
+                         ? upload_seconds + res.seconds
+                         : std::max(upload_seconds, res.seconds);
+    budget_.ConsumeBandwidth(static_cast<double>(res.bytes));
+    if (!res.status.ok()) continue;  // upload lost after retries
+    if (faulty && arrival > upload_deadline) {
+      // The server stopped waiting; the bytes are spent anyway.
+      ++faults_.mutable_counters()->dropped_stragglers;
+      continue;
+    }
+    if (res.corrupted &&
+        CorruptedPayloadRejected(clients_[static_cast<size_t>(i)]->model())) {
+      ++faults_.mutable_counters()->corrupt_rejected;
+      continue;
+    }
+    arrived[static_cast<size_t>(i)] = true;
+  }
+  if (faulty && upload_seconds > upload_deadline) {
+    upload_seconds = upload_deadline;
   }
 
   std::vector<const nn::Sequential*> models;
   std::vector<double> weights;
   models.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) {
-    if (!participating_[static_cast<size_t>(i)]) continue;
+    if (!arrived[static_cast<size_t>(i)]) continue;
     models.push_back(&clients_[static_cast<size_t>(i)]->model());
     weights.push_back(
         static_cast<double>(clients_[static_cast<size_t>(i)]->num_samples()));
   }
-  server_->Aggregate(models, weights);
+  // If every upload was lost this round, the previous global model stands.
+  if (!models.empty()) server_->Aggregate(models, weights);
   Evaluation eval;
   if (evaluate) eval = server_->EvaluateGlobal(config_.batch_size * 2);
 
-  // Distribution: global model back to every client.
+  // Distribution: global model back to every reachable client; a client
+  // whose download is lost keeps training on its stale model.
   double download_seconds = 0.0;
+  std::vector<bool> refreshed(static_cast<size_t>(k), false);
   for (int i = 0; i < k; ++i) {
-    const double t =
-        topology_.TransferSeconds(net::kServerId, i, model_bytes_);
-    download_seconds = config_.wan_shared ? download_seconds + t
-                                          : std::max(download_seconds, t);
-    traffic_.Record(net::kServerId, i, model_bytes_);
-    budget_.ConsumeBandwidth(static_cast<double>(model_bytes_));
+    if (faulty && faults_.IsCrashed(i)) continue;
+    const net::TransferResult res = faults_.Transfer(
+        net::kServerId, i, model_bytes_, topology_, &traffic_);
+    download_seconds = config_.wan_shared
+                           ? download_seconds + res.seconds
+                           : std::max(download_seconds, res.seconds);
+    budget_.ConsumeBandwidth(static_cast<double>(res.bytes));
+    if (!res.status.ok()) continue;
+    if (res.corrupted && CorruptedPayloadRejected(server_->global_model())) {
+      ++faults_.mutable_counters()->corrupt_rejected;
+      continue;
+    }
     clients_[static_cast<size_t>(i)]->SetModel(server_->global_model());
     clients_[static_cast<size_t>(i)]->SetProximalReference(
         server_->global_model());
+    refreshed[static_cast<size_t>(i)] = true;
   }
   budget_.ConsumeTime(upload_seconds + download_seconds);
 
-  // Fresh replicas: provenance resets.
+  // Fresh replicas reset their provenance; clients that missed the
+  // download keep their stale model and its accumulated provenance.
   for (int i = 0; i < k; ++i) {
+    if (!refreshed[static_cast<size_t>(i)]) continue;
     std::fill(model_distributions_[static_cast<size_t>(i)].begin(),
               model_distributions_[static_cast<size_t>(i)].end(), 0.0);
     model_samples_[static_cast<size_t>(i)] = 0.0;
@@ -205,6 +262,7 @@ int Trainer::MigrationPhase(int epoch, double loss) {
   ctx.global_loss = loss;
   ctx.budget = &budget_;
   ctx.rng = &rng_;
+  ctx.available = &available_;
 
   MigrationPlan plan = policy_->Plan(ctx);
   FEDMIGR_CHECK_EQ(static_cast<int>(plan.incoming.size()), k);
@@ -228,12 +286,24 @@ int Trainer::MigrationPhase(int epoch, double loss) {
     }
   }
 
-  const MigrationCost cost =
-      CostAndRecord(plan, topology_, model_bytes_, &traffic_);
-  budget_.ConsumeBandwidth(static_cast<double>(cost.bytes));
-  budget_.ConsumeTime(cost.seconds);
+  MigrationExecution exec =
+      ExecuteWithFaults(plan, topology_, model_bytes_, &traffic_, &faults_);
+  budget_.ConsumeBandwidth(static_cast<double>(exec.cost.bytes));
+  budget_.ConsumeTime(exec.cost.seconds);
 
-  // Move the replicas (and their provenance) according to the plan.
+  // Corrupted deliveries hit the receiver's checksum: the payload is
+  // rejected and the destination keeps the model it already has.
+  for (size_t j = 0; j < exec.delivered.size(); ++j) {
+    if (!exec.delivered[j] || !exec.corrupted[j]) continue;
+    const int src = plan.incoming[j];
+    if (CorruptedPayloadRejected(clients_[static_cast<size_t>(src)]->model())) {
+      ++faults_.mutable_counters()->corrupt_rejected;
+      exec.delivered[j] = false;
+    }
+  }
+
+  // Move the replicas (and their provenance) according to the plan; a
+  // failed move degrades gracefully — the destination keeps its model.
   std::vector<nn::Sequential> snapshot;
   snapshot.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) {
@@ -241,17 +311,19 @@ int Trainer::MigrationPhase(int epoch, double loss) {
   }
   const auto dist_snapshot = model_distributions_;
   const auto samples_snapshot = model_samples_;
+  int applied = 0;
   for (int j = 0; j < k; ++j) {
     const int src = plan.incoming[static_cast<size_t>(j)];
-    if (src == j) continue;
+    if (src == j || !exec.delivered[static_cast<size_t>(j)]) continue;
     clients_[static_cast<size_t>(j)]->SetModel(
         snapshot[static_cast<size_t>(src)]);
     model_distributions_[static_cast<size_t>(j)] =
         dist_snapshot[static_cast<size_t>(src)];
     model_samples_[static_cast<size_t>(j)] =
         samples_snapshot[static_cast<size_t>(src)];
+    ++applied;
   }
-  return cost.num_moves;
+  return applied;
 }
 
 Evaluation Trainer::VirtualEvaluation() {
@@ -364,6 +436,7 @@ RunResult Trainer::Run() {
   result.c2s_gb = traffic_.c2s_gb();
   result.c2c_gb = traffic_.c2c_gb();
   result.traffic = traffic_;
+  result.faults = faults_.counters();
   return result;
 }
 

@@ -30,6 +30,7 @@
 #include "fl/server.h"
 #include "net/budget.h"
 #include "net/device.h"
+#include "net/fault.h"
 #include "net/topology.h"
 #include "net/traffic.h"
 #include "util/thread_pool.h"
@@ -61,6 +62,10 @@ struct TrainerConfig {
   int eval_every = 5;
   net::Budget budget;  // default: unlimited
   dp::DpConfig dp;
+  // Fault model for links and clients (see net/fault.h). The default config
+  // is a strict no-op: with all probabilities at zero the trainer follows
+  // exactly the fault-free code path and produces bit-identical results.
+  net::FaultConfig fault;
   // When the WAN to the server is shared, uploads serialize; when false,
   // each client has an independent WAN path.
   bool wan_shared = true;
@@ -101,6 +106,9 @@ struct RunResult {
   bool budget_exhausted = false;
   // Full per-link accounting, for the Fig. 8 link-frequency analysis.
   net::TrafficAccountant traffic;
+  // Fault-tolerance counters (attempts, retries, fallbacks, dropped
+  // stragglers, checksum rejects, ...). All zero when faults are disabled.
+  net::FaultCounters faults;
 };
 
 class Trainer {
@@ -148,6 +156,7 @@ class Trainer {
   std::unique_ptr<Server> server_;
   net::Budget budget_;
   net::TrafficAccountant traffic_;
+  net::FaultInjector faults_;
   util::Rng rng_;
   util::ThreadPool pool_;
   int64_t model_bytes_ = 0;

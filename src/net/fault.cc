@@ -1,0 +1,132 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fedmigr::net {
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {
+  FEDMIGR_CHECK_GE(config_.link_failure_prob, 0.0);
+  FEDMIGR_CHECK_LT(config_.link_failure_prob, 1.0);
+  FEDMIGR_CHECK_GE(config_.bandwidth_jitter, 0.0);
+  FEDMIGR_CHECK_GE(config_.crash_prob, 0.0);
+  FEDMIGR_CHECK_LT(config_.crash_prob, 1.0);
+  FEDMIGR_CHECK_GE(config_.crash_min_epochs, 1);
+  FEDMIGR_CHECK_GE(config_.crash_max_epochs, config_.crash_min_epochs);
+  FEDMIGR_CHECK_GE(config_.straggler_prob, 0.0);
+  FEDMIGR_CHECK_LE(config_.straggler_prob, 1.0);
+  FEDMIGR_CHECK_GE(config_.straggler_slowdown, 1.0);
+  FEDMIGR_CHECK_GE(config_.corruption_prob, 0.0);
+  FEDMIGR_CHECK_LE(config_.corruption_prob, 1.0);
+  FEDMIGR_CHECK_GE(config_.max_retries, 0);
+  FEDMIGR_CHECK_GE(config_.backoff_base_s, 0.0);
+  FEDMIGR_CHECK_GT(config_.transfer_deadline_s, 0.0);
+  FEDMIGR_CHECK_GT(config_.upload_deadline_s, 0.0);
+}
+
+void FaultInjector::BeginEpoch(int num_clients) {
+  if (!enabled()) return;
+  down_epochs_.resize(static_cast<size_t>(num_clients), 0);
+  straggler_.resize(static_cast<size_t>(num_clients), false);
+  for (int i = 0; i < num_clients; ++i) {
+    int& down = down_epochs_[static_cast<size_t>(i)];
+    if (down > 0) --down;
+    if (down == 0 && config_.crash_prob > 0.0 &&
+        rng_.Bernoulli(config_.crash_prob)) {
+      const int span = config_.crash_max_epochs - config_.crash_min_epochs;
+      down = config_.crash_min_epochs +
+             (span > 0 ? rng_.UniformInt(span + 1) : 0);
+      ++counters_.crashes;
+    }
+    if (down > 0) ++counters_.crash_epochs;
+    straggler_[static_cast<size_t>(i)] =
+        config_.straggler_prob > 0.0 && rng_.Bernoulli(config_.straggler_prob);
+  }
+}
+
+bool FaultInjector::IsCrashed(int client) const {
+  if (client < 0 || client >= static_cast<int>(down_epochs_.size())) {
+    return false;  // the server, or a client never rolled
+  }
+  return down_epochs_[static_cast<size_t>(client)] > 0;
+}
+
+double FaultInjector::SlowdownFactor(int client) const {
+  if (client < 0 || client >= static_cast<int>(straggler_.size())) return 1.0;
+  return straggler_[static_cast<size_t>(client)] ? config_.straggler_slowdown
+                                                 : 1.0;
+}
+
+double FaultInjector::AttemptSeconds(int src, int dst, int64_t bytes,
+                                     const Topology& topology) {
+  double seconds = topology.TransferSeconds(src, dst, bytes);
+  seconds *= std::max(SlowdownFactor(src), SlowdownFactor(dst));
+  if (config_.bandwidth_jitter > 0.0) {
+    seconds *= 1.0 + rng_.Uniform(0.0, config_.bandwidth_jitter);
+  }
+  return seconds;
+}
+
+TransferResult FaultInjector::Transfer(int src, int dst, int64_t bytes,
+                                       const Topology& topology,
+                                       TrafficAccountant* traffic) {
+  TransferResult result;
+  if (!enabled()) {
+    // Strict no-op path: identical accounting to the direct transfer, no
+    // RNG draws, no counter churn.
+    result.seconds = topology.TransferSeconds(src, dst, bytes);
+    result.bytes = bytes;
+    result.attempts = 1;
+    if (traffic != nullptr) traffic->Record(src, dst, bytes);
+    return result;
+  }
+
+  const int max_attempts = 1 + config_.max_retries;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const double attempt_seconds = AttemptSeconds(src, dst, bytes, topology);
+    if (result.seconds + attempt_seconds > config_.transfer_deadline_s) {
+      // Not enough deadline left for another attempt: the sender waits out
+      // the deadline and gives up. Bytes already spent stay charged.
+      ++counters_.deadline_aborts;
+      ++counters_.aborted_transfers;
+      result.seconds = config_.transfer_deadline_s;
+      result.status = util::Status::DeadlineExceeded(
+          "transfer " + std::to_string(src) + "->" + std::to_string(dst) +
+          " abandoned at deadline");
+      return result;
+    }
+
+    ++result.attempts;
+    ++counters_.attempts;
+    result.seconds += attempt_seconds;
+    // A failed attempt still pushed the full payload into the network: the
+    // bytes are spent whether or not the far end got them.
+    result.bytes += bytes;
+    if (traffic != nullptr) traffic->Record(src, dst, bytes);
+
+    const bool failed = config_.link_failure_prob > 0.0 &&
+                        rng_.Bernoulli(config_.link_failure_prob);
+    if (!failed) {
+      if (config_.corruption_prob > 0.0 &&
+          rng_.Bernoulli(config_.corruption_prob)) {
+        result.corrupted = true;
+        ++counters_.corrupted;
+      }
+      return result;
+    }
+    ++counters_.failures;
+    if (attempt + 1 < max_attempts) {
+      ++counters_.retries;
+      result.seconds += config_.backoff_base_s * static_cast<double>(1 << attempt);
+    }
+  }
+  ++counters_.aborted_transfers;
+  result.status = util::Status::Unavailable(
+      "transfer " + std::to_string(src) + "->" + std::to_string(dst) +
+      " failed after " + std::to_string(max_attempts) + " attempts");
+  return result;
+}
+
+}  // namespace fedmigr::net

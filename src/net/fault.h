@@ -1,0 +1,144 @@
+// Fault injection for the edge-network simulator.
+//
+// The paper's setting is an unreliable heterogeneous edge: clients
+// "dynamically join and leave the system" (Sec. III-C), links degrade, and
+// in-flight model transfers can be interrupted (the problem FedFly is built
+// around). `FaultInjector` models that world deterministically from a seed:
+//
+//   - per-attempt link failure (a transfer dies mid-flight),
+//   - bandwidth degradation jitter (a transfer runs slower than nominal),
+//   - client crash windows (a client is down for a sampled number of epochs),
+//   - straggler slowdown multipliers (a client computes/transmits slower),
+//   - payload corruption (a transfer arrives, but bit-flipped).
+//
+// `Transfer()` is the fault-aware transfer primitive: bounded retry with
+// exponential backoff and an optional per-transfer deadline. Failed attempts
+// are still charged to the TrafficAccountant and the simulated clock — an
+// interrupted migration wastes real bandwidth and time.
+//
+// With every probability at zero (the default config) the injector is a
+// strict no-op: Transfer() produces byte-identical accounting to the direct
+// path, no RNG state leaks into the caller (the injector draws from its own
+// stream), and Begin/IsCrashed/SlowdownFactor are free.
+
+#ifndef FEDMIGR_NET_FAULT_H_
+#define FEDMIGR_NET_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fedmigr::net {
+
+struct FaultConfig {
+  // Per-attempt probability that a transfer fails in flight.
+  double link_failure_prob = 0.0;
+  // Bandwidth degradation: each attempt is slowed by a factor drawn
+  // uniformly from [1, 1 + bandwidth_jitter]. 0 = nominal bandwidth.
+  double bandwidth_jitter = 0.0;
+  // Per-epoch probability that a healthy client crashes. A crashed client
+  // is down for a number of epochs drawn uniformly from
+  // [crash_min_epochs, crash_max_epochs].
+  double crash_prob = 0.0;
+  int crash_min_epochs = 1;
+  int crash_max_epochs = 3;
+  // Per-epoch probability that a client is a straggler, and the multiplier
+  // applied to its compute and transfer times while it is one.
+  double straggler_prob = 0.0;
+  double straggler_slowdown = 4.0;
+  // Per-delivery probability that the payload arrives corrupted (detected
+  // by the receiver's checksum; see nn/serialize).
+  double corruption_prob = 0.0;
+  // Retry policy: up to `max_retries` re-attempts after the first failure,
+  // with exponential backoff backoff_base_s * 2^attempt between attempts.
+  int max_retries = 2;
+  double backoff_base_s = 0.5;
+  // A transfer (including retries and backoff) that would exceed this
+  // deadline is abandoned with kDeadlineExceeded. Infinity = no deadline.
+  double transfer_deadline_s = std::numeric_limits<double>::infinity();
+  // Aggregation-round straggler deadline: uploads arriving at the server
+  // later than this are dropped from the round (the server aggregates
+  // whatever arrived in time). Infinity = wait for everyone.
+  double upload_deadline_s = std::numeric_limits<double>::infinity();
+  // Failed C2C migrations are re-routed through the parameter server
+  // (charged as two C2S hops) before giving up.
+  bool server_fallback = true;
+  uint64_t seed = 97;
+
+  // True when any fault mechanism can fire.
+  bool enabled() const {
+    return link_failure_prob > 0.0 || bandwidth_jitter > 0.0 ||
+           crash_prob > 0.0 || straggler_prob > 0.0 || corruption_prob > 0.0;
+  }
+};
+
+// Aggregate counters surfaced into RunResult / bench CSVs. All increments
+// happen inside the injector or the fault-aware callers in fl/.
+struct FaultCounters {
+  int64_t attempts = 0;           // transfer attempts (incl. retries)
+  int64_t failures = 0;           // attempts that failed in flight
+  int64_t retries = 0;            // re-attempts after an in-flight failure
+  int64_t deadline_aborts = 0;    // transfers abandoned at the deadline
+  int64_t aborted_transfers = 0;  // transfers that gave up after retries
+  int64_t fallbacks = 0;          // C2C moves re-routed via the server
+  int64_t corrupted = 0;          // deliveries flagged as corrupted
+  int64_t corrupt_rejected = 0;   // payloads rejected by checksum
+  int64_t dropped_stragglers = 0; // uploads past the aggregation deadline
+  int64_t crash_epochs = 0;       // client-epochs spent crashed
+  int64_t crashes = 0;            // crash events
+};
+
+struct TransferResult {
+  util::Status status;   // OK on delivery (possibly corrupted)
+  double seconds = 0.0;  // simulated time incl. failed attempts and backoff
+  int64_t bytes = 0;     // traffic charged incl. failed attempts
+  int attempts = 0;
+  bool corrupted = false;  // delivered, but the payload failed in flight
+};
+
+class FaultInjector {
+ public:
+  // Default: disabled, a strict no-op on every path.
+  FaultInjector() : FaultInjector(FaultConfig{}) {}
+  explicit FaultInjector(const FaultConfig& config);
+
+  bool enabled() const { return config_.enabled(); }
+  const FaultConfig& config() const { return config_; }
+
+  // Rolls per-epoch client state: crashed clients count down their outage
+  // window, healthy clients may crash, stragglers are re-sampled.
+  void BeginEpoch(int num_clients);
+  bool IsCrashed(int client) const;
+  // 1.0 for healthy clients, straggler_slowdown for stragglers. The server
+  // (kServerId) never straggles.
+  double SlowdownFactor(int client) const;
+
+  // One fault-aware transfer over (src, dst); either endpoint may be
+  // kServerId. Every attempt is charged to `traffic` (if non-null); the
+  // returned seconds include failed attempts and backoff.
+  TransferResult Transfer(int src, int dst, int64_t bytes,
+                          const Topology& topology,
+                          TrafficAccountant* traffic);
+
+  const FaultCounters& counters() const { return counters_; }
+  FaultCounters* mutable_counters() { return &counters_; }
+
+ private:
+  double AttemptSeconds(int src, int dst, int64_t bytes,
+                        const Topology& topology);
+
+  FaultConfig config_;
+  util::Rng rng_;
+  FaultCounters counters_;
+  std::vector<int> down_epochs_;     // remaining outage per client
+  std::vector<bool> straggler_;
+};
+
+}  // namespace fedmigr::net
+
+#endif  // FEDMIGR_NET_FAULT_H_

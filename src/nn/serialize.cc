@@ -3,7 +3,44 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/crc32.h"
+
 namespace fedmigr::nn {
+
+namespace {
+
+// "FMGR" little-endian.
+constexpr uint32_t kMagic = 0x52474D46u;
+constexpr uint32_t kFormatVersion = 2;
+// magic + version + count.
+constexpr size_t kV2HeaderSize = 2 * sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kV2FrameOverhead = kV2HeaderSize + sizeof(uint32_t);
+
+template <typename T>
+T ReadLe(const uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+// Legacy v1 framing: [uint64 count][count * float32].
+util::Status DeserializeV1(const std::vector<uint8_t>& bytes,
+                           Sequential* model) {
+  if (bytes.size() < sizeof(uint64_t)) {
+    return util::Status::InvalidArgument("buffer too small for header");
+  }
+  const uint64_t count = ReadLe<uint64_t>(bytes.data());
+  if (count > (bytes.size() - sizeof(uint64_t)) / sizeof(float) ||
+      bytes.size() != sizeof(uint64_t) + count * sizeof(float)) {
+    return util::Status::InvalidArgument("buffer size does not match header");
+  }
+  std::vector<float> flat(count);
+  std::memcpy(flat.data(), bytes.data() + sizeof(uint64_t),
+              count * sizeof(float));
+  return UnflattenParams(flat, model);
+}
+
+}  // namespace
 
 std::vector<float> FlattenParams(const Sequential& model) {
   std::vector<float> flat;
@@ -33,25 +70,47 @@ util::Status UnflattenParams(const std::vector<float>& flat,
 std::vector<uint8_t> SerializeParams(const Sequential& model) {
   const std::vector<float> flat = FlattenParams(model);
   const uint64_t count = flat.size();
-  std::vector<uint8_t> bytes(sizeof(uint64_t) + flat.size() * sizeof(float));
-  std::memcpy(bytes.data(), &count, sizeof(uint64_t));
-  std::memcpy(bytes.data() + sizeof(uint64_t), flat.data(),
-              flat.size() * sizeof(float));
+  std::vector<uint8_t> bytes(kV2FrameOverhead + flat.size() * sizeof(float));
+  uint8_t* p = bytes.data();
+  std::memcpy(p, &kMagic, sizeof(uint32_t));
+  std::memcpy(p + sizeof(uint32_t), &kFormatVersion, sizeof(uint32_t));
+  std::memcpy(p + 2 * sizeof(uint32_t), &count, sizeof(uint64_t));
+  std::memcpy(p + kV2HeaderSize, flat.data(), flat.size() * sizeof(float));
+  const uint32_t crc =
+      util::Crc32(p, kV2HeaderSize + flat.size() * sizeof(float));
+  std::memcpy(p + kV2HeaderSize + flat.size() * sizeof(float), &crc,
+              sizeof(uint32_t));
   return bytes;
 }
 
 util::Status DeserializeParams(const std::vector<uint8_t>& bytes,
                                Sequential* model) {
-  if (bytes.size() < sizeof(uint64_t)) {
-    return util::Status::InvalidArgument("buffer too small for header");
+  if (bytes.empty()) {
+    return util::Status::InvalidArgument("empty buffer");
   }
-  uint64_t count = 0;
-  std::memcpy(&count, bytes.data(), sizeof(uint64_t));
-  if (bytes.size() != sizeof(uint64_t) + count * sizeof(float)) {
+  if (bytes.size() < kV2FrameOverhead ||
+      ReadLe<uint32_t>(bytes.data()) != kMagic) {
+    // Not a v2 frame; try the legacy unframed encoding.
+    return DeserializeV1(bytes, model);
+  }
+  const uint32_t version = ReadLe<uint32_t>(bytes.data() + sizeof(uint32_t));
+  if (version != kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported parameter format version " + std::to_string(version));
+  }
+  const uint64_t count = ReadLe<uint64_t>(bytes.data() + 2 * sizeof(uint32_t));
+  if (count > (bytes.size() - kV2FrameOverhead) / sizeof(float) ||
+      bytes.size() != kV2FrameOverhead + count * sizeof(float)) {
     return util::Status::InvalidArgument("buffer size does not match header");
   }
+  const size_t checked_size = kV2HeaderSize + count * sizeof(float);
+  const uint32_t stored_crc = ReadLe<uint32_t>(bytes.data() + checked_size);
+  const uint32_t actual_crc = util::Crc32(bytes.data(), checked_size);
+  if (stored_crc != actual_crc) {
+    return util::Status::DataLoss("parameter payload checksum mismatch");
+  }
   std::vector<float> flat(count);
-  std::memcpy(flat.data(), bytes.data() + sizeof(uint64_t),
+  std::memcpy(flat.data(), bytes.data() + kV2HeaderSize,
               count * sizeof(float));
   return UnflattenParams(flat, model);
 }
@@ -77,10 +136,16 @@ util::Status LoadCheckpoint(const std::string& path, Sequential* model) {
     return util::Status::NotFound("cannot open for reading: " + path);
   }
   const std::streamsize size = in.tellg();
+  if (size < 0) {
+    return util::Status::Internal("cannot determine size: " + path);
+  }
+  if (size == 0) {
+    return util::Status::InvalidArgument("empty checkpoint: " + path);
+  }
   in.seekg(0);
   std::vector<uint8_t> bytes(static_cast<size_t>(size));
   in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) {
+  if (!in || in.gcount() != size) {
     return util::Status::Internal("read failed: " + path);
   }
   return DeserializeParams(bytes, model);

@@ -24,8 +24,15 @@ std::vector<float> FlattenParams(const Sequential& model);
 util::Status UnflattenParams(const std::vector<float>& flat,
                              Sequential* model);
 
-// Byte-level encoding: [uint64 count][count * float32]. This is the payload
-// the network simulator meters.
+// Byte-level encoding, format v2 with integrity framing:
+//   [uint32 magic "FMGR"][uint32 version][uint64 count]
+//   [count * float32 payload][uint32 crc32 of everything before it]
+// A truncated or bit-flipped buffer fails the size or checksum test and is
+// rejected with a Status (kDataLoss for checksum mismatches) instead of
+// silently loading garbage. DeserializeParams also accepts the legacy v1
+// framing ([uint64 count][payload]) so old checkpoints keep loading.
+// Simulated transfer sizes are metered by Sequential::ByteSize (raw
+// parameter bytes), so the framing does not change traffic accounting.
 std::vector<uint8_t> SerializeParams(const Sequential& model);
 util::Status DeserializeParams(const std::vector<uint8_t>& bytes,
                                Sequential* model);

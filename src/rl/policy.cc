@@ -40,12 +40,16 @@ fl::MigrationPlan DrlMigrationPolicy::Plan(const fl::PolicyContext& ctx) {
   std::vector<PendingDecision> decisions;
   decisions.reserve(static_cast<size_t>(k));
   for (int src : order) {
+    // Crashed/unavailable sources hold their model; no decision is made
+    // (and none is recorded for learning) on their behalf.
+    if (!fl::ClientAvailable(ctx, src)) continue;
     PendingDecision decision;
     decision.src = src;
     decision.candidates = CandidateRows(ctx, gain, src);
     std::vector<bool> mask(static_cast<size_t>(k));
     for (int j = 0; j < k; ++j) {
-      mask[static_cast<size_t>(j)] = !claimed[static_cast<size_t>(j)];
+      mask[static_cast<size_t>(j)] = !claimed[static_cast<size_t>(j)] &&
+                                     fl::ClientAvailable(ctx, j);
     }
     mask[static_cast<size_t>(src)] = true;
 

@@ -42,15 +42,24 @@ std::vector<float> ActionFeatures(const fl::PolicyContext& ctx,
                                   int dst, const GlobalFeatures& global) {
   std::vector<float> row(kActionFeatureDim);
   const bool stay = src == dst;
+  // Availability folds into the existing features rather than widening the
+  // row (which would invalidate every pre-trained agent): an unavailable
+  // destination gains nothing and its link looks maximally slow, so the
+  // actor scores it like the worst possible move even before the policy
+  // masks it out of the action space.
+  const bool dst_down = !stay && !fl::ClientAvailable(ctx, dst);
   const double emd =
-      stay ? 0.0
-           : gain[static_cast<size_t>(src)][static_cast<size_t>(dst)];
+      stay || dst_down
+          ? 0.0
+          : gain[static_cast<size_t>(src)][static_cast<size_t>(dst)];
   const double same_lan = stay ? 1.0
                                : (ctx.topology->SameLan(src, dst) ? 1.0 : 0.0);
   const double time =
       stay ? 0.0
-           : ctx.topology->TransferSeconds(src, dst, ctx.model_bytes) /
-                 max_transfer_seconds;
+           : (dst_down
+                  ? 1.0
+                  : ctx.topology->TransferSeconds(src, dst, ctx.model_bytes) /
+                        max_transfer_seconds);
   row[0] = static_cast<float>(emd / 2.0);  // EMD over a simplex is <= 2
   row[1] = static_cast<float>(same_lan);
   row[2] = static_cast<float>(time);

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used to frame serialized model payloads so a truncated or bit-flipped
+// transfer is detected at the receiver instead of silently loading garbage
+// parameters (see nn/serialize and the fault-tolerance layer in net/fault).
+
+#ifndef FEDMIGR_UTIL_CRC32_H_
+#define FEDMIGR_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fedmigr::util {
+
+// CRC of `size` bytes starting at `data`. Pass a previous CRC as `crc` to
+// checksum data incrementally (Crc32(b, nb, Crc32(a, na)) == CRC of a||b).
+uint32_t Crc32(const void* data, size_t size, uint32_t crc = 0);
+
+}  // namespace fedmigr::util
+
+#endif  // FEDMIGR_UTIL_CRC32_H_

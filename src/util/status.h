@@ -24,6 +24,9 @@ enum class StatusCode {
   kNotFound,
   kResourceExhausted,
   kInternal,
+  kUnavailable,        // transient failure (e.g. a link dropped mid-transfer)
+  kDeadlineExceeded,   // operation abandoned at its deadline
+  kDataLoss,           // payload corrupted (checksum mismatch)
 };
 
 // Value-semantic status word. Copyable and cheap (one enum + one string).
@@ -51,6 +54,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

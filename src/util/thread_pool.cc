@@ -21,6 +21,18 @@ ThreadPool::~ThreadPool() {
   }
   task_available_.notify_all();
   for (auto& worker : workers_) worker.join();
+  if (pending_error_ != nullptr) {
+    // Destructors must not throw; surface the dropped error in the log.
+    try {
+      std::rethrow_exception(pending_error_);
+    } catch (const std::exception& e) {
+      FEDMIGR_LOG(kError) << "thread pool destroyed with unobserved task "
+                          << "exception: " << e.what();
+    } catch (...) {
+      FEDMIGR_LOG(kError) << "thread pool destroyed with unobserved task "
+                          << "exception";
+    }
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -35,6 +47,12 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (pending_error_ != nullptr) {
+    std::exception_ptr error = pending_error_;
+    pending_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
@@ -68,9 +86,18 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // Keep the worker alive; the error is rethrown from Wait().
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error != nullptr && pending_error_ == nullptr) {
+        pending_error_ = error;
+      }
       --active_;
       if (queue_.empty() && active_ == 0) all_idle_.notify_all();
     }

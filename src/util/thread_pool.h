@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -16,6 +17,11 @@ namespace fedmigr::util {
 // the queue drains and all workers are idle, which is the synchronization
 // point between FL phases (all clients finish local updating before the
 // server computes the migration policy).
+//
+// A task that throws does not kill its worker thread: the first exception
+// is captured and rethrown from the next Wait() (and thus from
+// ParallelFor); later exceptions from the same batch are dropped. A still
+// pending exception at destruction time is logged, not rethrown.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -42,6 +48,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   int active_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr pending_error_;
 };
 
 }  // namespace fedmigr::util

@@ -105,5 +105,135 @@ TEST(CostTest, NullTrafficAccountantAllowed) {
   EXPECT_EQ(cost.bytes, 500);
 }
 
+TEST(MigrationPlanTest, NonPermutationFanOutCounting) {
+  // One source replicated to several destinations is a legal plan (the DRL
+  // policy never emits it, but execution must not assume a permutation).
+  MigrationPlan plan = MigrationPlan::Identity(4);
+  plan.incoming = {0, 0, 0, 3};
+  EXPECT_FALSE(plan.IsPermutation());
+  EXPECT_EQ(plan.NumMoves(), 2);  // destinations 1 and 2 receive 0's model
+}
+
+TEST(MigrationPlanTest, OutOfRangeSourceIsNotPermutation) {
+  MigrationPlan plan;
+  plan.incoming = {-1, 1, 2};
+  EXPECT_FALSE(plan.IsPermutation());
+}
+
+TEST(ExecuteWithFaultsTest, NullInjectorMatchesCostAndRecord) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[1] = 0;
+  plan.incoming[8] = 2;
+  net::TrafficAccountant direct_traffic;
+  const MigrationCost direct =
+      CostAndRecord(plan, topology, 1 << 20, &direct_traffic);
+  net::TrafficAccountant faulty_traffic;
+  const MigrationExecution exec =
+      ExecuteWithFaults(plan, topology, 1 << 20, &faulty_traffic, nullptr);
+  EXPECT_EQ(exec.cost.seconds, direct.seconds);
+  EXPECT_EQ(exec.cost.bytes, direct.bytes);
+  EXPECT_EQ(exec.cost.num_moves, direct.num_moves);
+  EXPECT_EQ(faulty_traffic.c2c_bytes(), direct_traffic.c2c_bytes());
+  EXPECT_EQ(exec.failed_moves, 0);
+  EXPECT_EQ(exec.fallback_moves, 0);
+  ASSERT_EQ(exec.delivered.size(), 10u);
+  EXPECT_TRUE(exec.delivered[1]);
+  EXPECT_TRUE(exec.delivered[8]);
+  EXPECT_FALSE(exec.delivered[0]);  // no move planned for destination 0
+}
+
+TEST(ExecuteWithFaultsTest, DisabledInjectorDeliversEverything) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[3] = 7;
+  net::FaultInjector faults;  // disabled
+  const MigrationExecution exec =
+      ExecuteWithFaults(plan, topology, 1000, nullptr, &faults);
+  EXPECT_TRUE(exec.delivered[3]);
+  EXPECT_EQ(exec.failed_moves, 0);
+  EXPECT_EQ(exec.cost.bytes, 1000);
+}
+
+TEST(ExecuteWithFaultsTest, FailedDirectMoveFallsBackViaServer) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[1] = 0;
+  net::FaultConfig config;
+  config.link_failure_prob = 0.999999;
+  config.max_retries = 0;
+  net::FaultInjector faults(config);
+  net::TrafficAccountant traffic;
+  const MigrationExecution exec =
+      ExecuteWithFaults(plan, topology, 1000, &traffic, &faults);
+  // The direct C2C attempt failed; the fallback re-route would have been
+  // attempted via the server (two C2S hops), but with a near-certain
+  // failure probability those hops fail too. Either way the direct bytes
+  // are charged as C2C and any fallback hops as C2S.
+  EXPECT_GE(traffic.c2c_bytes(), 1000);
+  if (exec.fallback_moves > 0) {
+    EXPECT_GT(traffic.c2s_bytes(), 0);
+    EXPECT_EQ(faults.counters().fallbacks, exec.fallback_moves);
+  }
+  if (!exec.delivered[1]) {
+    EXPECT_EQ(exec.failed_moves, 1);
+  }
+}
+
+TEST(ExecuteWithFaultsTest, FallbackDeliversWhenOnlyOneLinkIsBad) {
+  // Retry exhaustion on the direct link, but a fallback with enough retries
+  // eventually delivers with very high probability. Use a modest failure
+  // rate so the server hops nearly always succeed within their retries.
+  const net::Topology topology = net::MakeC10SimTopology();
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[1] = 0;
+  net::FaultConfig config;
+  config.link_failure_prob = 0.4;
+  config.max_retries = 8;
+  net::FaultInjector faults(config);
+  net::TrafficAccountant traffic;
+  const MigrationExecution exec =
+      ExecuteWithFaults(plan, topology, 1000, &traffic, &faults);
+  // With 9 attempts per hop at p=0.4, delivery (direct or via fallback) is
+  // effectively certain and deterministic for the fixed seed.
+  EXPECT_TRUE(exec.delivered[1]);
+  EXPECT_EQ(exec.failed_moves, 0);
+}
+
+TEST(ExecuteWithFaultsTest, CorruptionIsFlaggedPerDestination) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[1] = 0;
+  plan.incoming[5] = 4;
+  net::FaultConfig config;
+  config.corruption_prob = 1.0;
+  net::FaultInjector faults(config);
+  const MigrationExecution exec =
+      ExecuteWithFaults(plan, topology, 1000, nullptr, &faults);
+  EXPECT_TRUE(exec.delivered[1]);
+  EXPECT_TRUE(exec.corrupted[1]);
+  EXPECT_TRUE(exec.corrupted[5]);
+  EXPECT_EQ(faults.counters().corrupted, 2);
+}
+
+TEST(ExecuteWithFaultsTest, ViaServerPlansHaveNoFurtherFallback) {
+  const net::Topology topology = net::MakeC10SimTopology();
+  MigrationPlan plan = MigrationPlan::Identity(10);
+  plan.incoming[1] = 0;
+  plan.via_server = true;
+  net::FaultConfig config;
+  config.link_failure_prob = 0.999999;
+  config.max_retries = 0;
+  net::FaultInjector faults(config);
+  net::TrafficAccountant traffic;
+  const MigrationExecution exec =
+      ExecuteWithFaults(plan, topology, 1000, &traffic, &faults);
+  EXPECT_FALSE(exec.delivered[1]);
+  EXPECT_EQ(exec.failed_moves, 1);
+  EXPECT_EQ(exec.fallback_moves, 0);
+  EXPECT_EQ(traffic.c2c_bytes(), 0);  // via-server traffic is all C2S
+  EXPECT_GE(traffic.c2s_bytes(), 1000);
+}
+
 }  // namespace
 }  // namespace fedmigr::fl

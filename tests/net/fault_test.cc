@@ -1,0 +1,203 @@
+#include "net/fault.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace fedmigr::net {
+namespace {
+
+TEST(FaultConfigTest, DefaultIsDisabled) {
+  FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  FaultInjector injector(config);
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjectorTest, DisabledTransferMatchesDirectAccounting) {
+  const Topology topology = MakeC10SimTopology();
+  FaultInjector injector;
+  TrafficAccountant traffic;
+  const TransferResult res = injector.Transfer(0, 1, 1000, topology, &traffic);
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(res.attempts, 1);
+  EXPECT_EQ(res.bytes, 1000);
+  EXPECT_FALSE(res.corrupted);
+  // Byte-identical to the direct path: same seconds, one traffic record.
+  EXPECT_EQ(res.seconds, topology.TransferSeconds(0, 1, 1000));
+  EXPECT_EQ(traffic.c2c_bytes(), 1000);
+  EXPECT_EQ(traffic.num_transfers(), 1);
+  EXPECT_EQ(injector.counters().attempts, 0);  // no-op path skips counters
+}
+
+TEST(FaultInjectorTest, DisabledEpochRollIsFree) {
+  FaultInjector injector;
+  injector.BeginEpoch(10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.IsCrashed(i));
+    EXPECT_EQ(injector.SlowdownFactor(i), 1.0);
+  }
+}
+
+TEST(FaultInjectorTest, CertainFailureExhaustsRetries) {
+  const Topology topology = MakeC10SimTopology();
+  FaultConfig config;
+  config.link_failure_prob = 0.999999;
+  config.max_retries = 2;
+  FaultInjector injector(config);
+  TrafficAccountant traffic;
+  const TransferResult res = injector.Transfer(0, 1, 1000, topology, &traffic);
+  EXPECT_FALSE(res.status.ok());
+  EXPECT_EQ(res.status.code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(res.attempts, 3);
+  // Failed attempts are still charged: bytes and records accumulate.
+  EXPECT_EQ(res.bytes, 3000);
+  EXPECT_EQ(traffic.c2c_bytes(), 3000);
+  EXPECT_EQ(injector.counters().failures, 3);
+  EXPECT_EQ(injector.counters().retries, 2);
+  EXPECT_EQ(injector.counters().aborted_transfers, 1);
+}
+
+TEST(FaultInjectorTest, BackoffExtendsFailedTransferTime) {
+  const Topology topology = MakeC10SimTopology();
+  FaultConfig config;
+  config.link_failure_prob = 0.999999;
+  config.max_retries = 2;
+  config.backoff_base_s = 1.0;
+  FaultInjector injector(config);
+  const TransferResult res = injector.Transfer(0, 1, 1000, topology, nullptr);
+  // 3 attempts + backoffs of 1s and 2s.
+  const double attempt = topology.TransferSeconds(0, 1, 1000);
+  EXPECT_NEAR(res.seconds, 3 * attempt + 1.0 + 2.0, 1e-9);
+}
+
+TEST(FaultInjectorTest, DeadlineAbandonsSlowTransfer) {
+  const Topology topology = MakeC10SimTopology();
+  FaultConfig config;
+  config.link_failure_prob = 0.999999;
+  config.max_retries = 10;
+  config.backoff_base_s = 1.0;
+  config.transfer_deadline_s = 2.5;
+  FaultInjector injector(config);
+  const TransferResult res = injector.Transfer(0, 1, 1000, topology, nullptr);
+  EXPECT_FALSE(res.status.ok());
+  EXPECT_EQ(res.status.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(res.seconds, 2.5);  // the sender waits out the deadline
+  EXPECT_GT(injector.counters().deadline_aborts, 0);
+}
+
+TEST(FaultInjectorTest, ReliableLinkDeliversFirstTry) {
+  const Topology topology = MakeC10SimTopology();
+  FaultConfig config;
+  config.crash_prob = 0.5;  // enabled, but links themselves are clean
+  FaultInjector injector(config);
+  TrafficAccountant traffic;
+  const TransferResult res =
+      injector.Transfer(0, net::kServerId, 500, topology, &traffic);
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(res.attempts, 1);
+  EXPECT_EQ(res.bytes, 500);
+  EXPECT_EQ(traffic.c2s_bytes(), 500);
+}
+
+TEST(FaultInjectorTest, CorruptionFlagsDeliveries) {
+  const Topology topology = MakeC10SimTopology();
+  FaultConfig config;
+  config.corruption_prob = 1.0;
+  FaultInjector injector(config);
+  const TransferResult res = injector.Transfer(0, 1, 100, topology, nullptr);
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_TRUE(res.corrupted);
+  EXPECT_EQ(injector.counters().corrupted, 1);
+}
+
+TEST(FaultInjectorTest, CrashWindowsLastSampledEpochs) {
+  FaultConfig config;
+  config.crash_prob = 0.999999;
+  config.crash_min_epochs = 2;
+  config.crash_max_epochs = 2;
+  FaultInjector injector(config);
+  injector.BeginEpoch(1);
+  EXPECT_TRUE(injector.IsCrashed(0));
+  injector.BeginEpoch(1);  // still down (2-epoch window)...
+  injector.BeginEpoch(1);  // ...but crash_prob re-fires immediately
+  EXPECT_TRUE(injector.IsCrashed(0));
+  EXPECT_GE(injector.counters().crashes, 1);
+  EXPECT_GE(injector.counters().crash_epochs, 2);
+}
+
+TEST(FaultInjectorTest, CrashRecoveryWithZeroReCrashProb) {
+  // One deterministic crash, then force recovery by observing the window.
+  FaultConfig config;
+  config.crash_prob = 0.999999;
+  config.crash_min_epochs = 1;
+  config.crash_max_epochs = 1;
+  FaultInjector injector(config);
+  injector.BeginEpoch(3);
+  EXPECT_TRUE(injector.IsCrashed(1));
+  // The server id is never crashed.
+  EXPECT_FALSE(injector.IsCrashed(kServerId));
+}
+
+TEST(FaultInjectorTest, StragglersSlowDown) {
+  FaultConfig config;
+  config.straggler_prob = 1.0;
+  config.straggler_slowdown = 3.0;
+  FaultInjector injector(config);
+  injector.BeginEpoch(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(injector.SlowdownFactor(i), 3.0);
+  }
+  EXPECT_EQ(injector.SlowdownFactor(kServerId), 1.0);
+}
+
+TEST(FaultInjectorTest, StragglerSlowsTransfers) {
+  const Topology topology = MakeC10SimTopology();
+  FaultConfig config;
+  config.straggler_prob = 1.0;
+  config.straggler_slowdown = 2.0;
+  FaultInjector injector(config);
+  injector.BeginEpoch(10);
+  const TransferResult res = injector.Transfer(0, 1, 1000, topology, nullptr);
+  EXPECT_NEAR(res.seconds, 2.0 * topology.TransferSeconds(0, 1, 1000), 1e-12);
+}
+
+TEST(FaultInjectorTest, JitterDegradesBandwidthWithinBounds) {
+  const Topology topology = MakeC10SimTopology();
+  FaultConfig config;
+  config.bandwidth_jitter = 0.5;
+  FaultInjector injector(config);
+  const double nominal = topology.TransferSeconds(0, 1, 1 << 20);
+  for (int trial = 0; trial < 50; ++trial) {
+    const TransferResult res =
+        injector.Transfer(0, 1, 1 << 20, topology, nullptr);
+    EXPECT_GE(res.seconds, nominal);
+    EXPECT_LE(res.seconds, nominal * 1.5 + 1e-12);
+  }
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossInstances) {
+  const Topology topology = MakeC10SimTopology();
+  FaultConfig config;
+  config.link_failure_prob = 0.3;
+  config.corruption_prob = 0.1;
+  config.bandwidth_jitter = 0.2;
+  config.seed = 11;
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int t = 0; t < 40; ++t) {
+    const TransferResult ra = a.Transfer(0, 5, 1000, topology, nullptr);
+    const TransferResult rb = b.Transfer(0, 5, 1000, topology, nullptr);
+    EXPECT_EQ(ra.status.ok(), rb.status.ok());
+    EXPECT_EQ(ra.seconds, rb.seconds);
+    EXPECT_EQ(ra.attempts, rb.attempts);
+    EXPECT_EQ(ra.corrupted, rb.corrupted);
+  }
+  EXPECT_EQ(a.counters().failures, b.counters().failures);
+}
+
+}  // namespace
+}  // namespace fedmigr::net

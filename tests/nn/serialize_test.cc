@@ -1,5 +1,8 @@
 #include "nn/serialize.h"
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -46,12 +49,14 @@ TEST(SerializeTest, ByteRoundTrip) {
   EXPECT_EQ(Sequential::ParamDistance(a, b), 0.0);
 }
 
-TEST(SerializeTest, ByteSizeIsHeaderPlusFloats) {
+TEST(SerializeTest, ByteSizeIsFramePlusFloats) {
   Sequential model = SmallModel(7);
   const auto bytes = SerializeParams(model);
+  // v2 frame: magic + version + count + payload + crc32.
   EXPECT_EQ(bytes.size(),
-            sizeof(uint64_t) +
-                static_cast<size_t>(model.NumParams()) * sizeof(float));
+            2 * sizeof(uint32_t) + sizeof(uint64_t) +
+                static_cast<size_t>(model.NumParams()) * sizeof(float) +
+                sizeof(uint32_t));
 }
 
 TEST(SerializeTest, DeserializeRejectsTruncatedBuffer) {
@@ -100,6 +105,88 @@ TEST(SerializeTest, LoadIntoWrongArchitectureFails) {
   Sequential other;
   other.Add(std::make_unique<Dense>(11, 11, &rng));
   EXPECT_FALSE(LoadCheckpoint(path, &other).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BitFlipInPayloadIsRejectedAsDataLoss) {
+  Sequential a = SmallModel(20);
+  Sequential b = SmallModel(21);
+  auto bytes = SerializeParams(a);
+  bytes[bytes.size() / 2] ^= 0x01;  // single bit flip mid-payload
+  const util::Status status = DeserializeParams(bytes, &b);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kDataLoss);
+  // The receiver's model is architecture-compatible but must not have
+  // absorbed the corrupted payload silently.
+  Sequential c = SmallModel(21);
+  EXPECT_EQ(Sequential::ParamDistance(b, c), 0.0);
+}
+
+TEST(SerializeTest, BitFlipInHeaderIsRejected) {
+  Sequential a = SmallModel(22);
+  auto bytes = SerializeParams(a);
+  bytes[9] ^= 0x40;  // inside the count field
+  EXPECT_FALSE(DeserializeParams(bytes, &a).ok());
+}
+
+TEST(SerializeTest, TruncatedV2FrameIsRejected) {
+  Sequential a = SmallModel(23);
+  auto bytes = SerializeParams(a);
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(DeserializeParams(bytes, &a).ok());
+}
+
+TEST(SerializeTest, UnsupportedVersionIsRejected) {
+  Sequential a = SmallModel(24);
+  auto bytes = SerializeParams(a);
+  bytes[4] = 99;  // version field
+  const util::Status status = DeserializeParams(bytes, &a);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, LegacyV1FrameStillLoads) {
+  // Hand-build the legacy [uint64 count][payload] encoding.
+  Sequential a = SmallModel(25);
+  const std::vector<float> flat = FlattenParams(a);
+  const uint64_t count = flat.size();
+  std::vector<uint8_t> bytes(sizeof(uint64_t) + flat.size() * sizeof(float));
+  std::memcpy(bytes.data(), &count, sizeof(uint64_t));
+  std::memcpy(bytes.data() + sizeof(uint64_t), flat.data(),
+              flat.size() * sizeof(float));
+  Sequential b = SmallModel(26);
+  ASSERT_TRUE(DeserializeParams(bytes, &b).ok());
+  EXPECT_EQ(Sequential::ParamDistance(a, b), 0.0);
+}
+
+TEST(SerializeTest, LegacyFrameWithOverflowingCountIsRejected) {
+  std::vector<uint8_t> bytes(sizeof(uint64_t) + 4);
+  const uint64_t huge = ~0ULL / 2;  // would overflow count * sizeof(float)
+  std::memcpy(bytes.data(), &huge, sizeof(uint64_t));
+  Sequential model = SmallModel(27);
+  EXPECT_FALSE(DeserializeParams(bytes, &model).ok());
+}
+
+TEST(SerializeTest, LoadEmptyCheckpointFails) {
+  const std::string path = ::testing::TempDir() + "/fedmigr_empty.bin";
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  Sequential model = SmallModel(28);
+  const util::Status status = LoadCheckpoint(path, &model);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadTruncatedCheckpointFails) {
+  const std::string path = ::testing::TempDir() + "/fedmigr_trunc.bin";
+  Sequential a = SmallModel(29);
+  const auto bytes = SerializeParams(a);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(LoadCheckpoint(path, &a).ok());
   std::remove(path.c_str());
 }
 

@@ -33,6 +33,19 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::Ok().code(), StatusCode::kOk);
 }
 
+TEST(StatusTest, FaultToleranceCodes) {
+  EXPECT_EQ(Status::Unavailable("link down").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DataLoss("bad checksum").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("link down").ToString(),
+            "Unavailable: link down");
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "DeadlineExceeded: too slow");
+  EXPECT_EQ(Status::DataLoss("bad checksum").ToString(),
+            "DataLoss: bad checksum");
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> result(42);
   ASSERT_TRUE(result.ok());

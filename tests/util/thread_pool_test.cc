@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -62,6 +64,67 @@ TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
   std::vector<int> expected(50);
   std::iota(expected.begin(), expected.end(), 0);
   EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillWorker) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive and able to
+  // execute follow-up work.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskExceptionWithMessage) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::runtime_error("specific failure"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must rethrow the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "specific failure");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   16,
+                   [](int i) {
+                     if (i == 7) throw std::logic_error("bad index");
+                   }),
+               std::logic_error);
+  // A subsequent batch runs to completion on the same workers.
+  std::atomic<int> total{0};
+  pool.ParallelFor(16, [&total](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPoolTest, ExceptionIsClearedAfterRethrow) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // no pending error: must return cleanly
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MixedThrowingAndHealthyTasksCompleteAll) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 12; ++i) {
+    pool.Submit([&completed, i] {
+      if (i % 4 == 0) throw std::runtime_error("flaky");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // All healthy tasks ran despite the interleaved failures.
+  EXPECT_EQ(completed.load(), 9);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
