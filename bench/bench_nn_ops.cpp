@@ -1,9 +1,18 @@
 // Supporting microbenchmarks for the NN substrate: the kernels whose cost
-// dominates simulated training (matmul, conv2d forward/backward) plus model
-// (de)serialization, which bounds how fast migrations can be simulated.
+// dominates simulated training (GEMM, im2col conv forward/backward) plus
+// model (de)serialization, which bounds how fast migrations can be
+// simulated.
+//
+// Each optimized kernel is benchmarked beside its retained *Naive reference
+// so speedups are measured inside one binary under identical compiler
+// flags. items_per_second reports FLOP/s (2 flops per multiply-accumulate).
+// The *Threads variants exercise the intra-op ParallelForRange splitting.
+// scripts/bench_nn_ops.sh runs this binary and records BENCH_nn_ops.json at
+// the repo root so the perf trajectory is tracked PR over PR.
 
 #include <benchmark/benchmark.h>
 
+#include "nn/gemm.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
 #include "nn/zoo.h"
@@ -22,46 +31,191 @@ nn::Tensor RandomTensor(nn::Shape shape, uint64_t seed) {
   return t;
 }
 
+// Pins the intra-op width for the duration of one benchmark.
+class IntraOpGuard {
+ public:
+  explicit IntraOpGuard(int threads) : old_(nn::GetIntraOpThreads()) {
+    nn::SetIntraOpThreads(threads);
+  }
+  ~IntraOpGuard() { nn::SetIntraOpThreads(old_); }
+
+ private:
+  int old_;
+};
+
+// ------------------------------------------------------------------ GEMM --
+
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  IntraOpGuard guard(1);
   const nn::Tensor a = RandomTensor({n, n}, 1);
   const nn::Tensor b = RandomTensor({n, n}, 2);
   for (auto _ : state) {
     nn::Tensor c = nn::MatMul(a, b);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+  state.SetItemsProcessed(state.iterations() * 2 * int64_t{n} * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MatMulNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const nn::Tensor a = RandomTensor({n, n}, 1);
+  const nn::Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    nn::Tensor c = nn::MatMulNaive(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  IntraOpGuard guard(1);
+  const nn::Tensor a = RandomTensor({n, n}, 1);
+  const nn::Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    nn::Tensor c = nn::MatMulTransB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(128)->Arg(512);
+
+void BM_MatMulTransBNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const nn::Tensor a = RandomTensor({n, n}, 1);
+  const nn::Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    nn::Tensor c = nn::MatMulTransBNaive(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMulTransBNaive)->Arg(128)->Arg(512);
+
+// Intra-op scaling: row-panels of the 512x512 product split across the
+// pool (grain 64 -> 8 chunks).
+void BM_MatMulThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  IntraOpGuard guard(threads);
+  const int n = 512;
+  const nn::Tensor a = RandomTensor({n, n}, 1);
+  const nn::Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    nn::Tensor c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// ------------------------------------------------------------------ conv --
+// The two conv layers of the zoo C10/C100 CNN: 3->8 on 8x8 and 8->16 on
+// 4x4, both 5x5 kernels with pad 2.
+
+struct ConvShape {
+  int cin, cout, hw;
+};
+
+constexpr ConvShape kZooConv[2] = {{3, 8, 8}, {8, 16, 4}};
+
+int64_t ConvForwardFlops(int batch, const ConvShape& s) {
+  return 2 * int64_t{batch} * s.cout * s.hw * s.hw * s.cin * 5 * 5;
+}
+
+void RunConvForward(benchmark::State& state, bool naive) {
+  const int batch = static_cast<int>(state.range(0));
+  const ConvShape shape = kZooConv[static_cast<size_t>(state.range(1))];
+  IntraOpGuard guard(1);
+  const nn::Tensor input =
+      RandomTensor({batch, shape.cin, shape.hw, shape.hw}, 3);
+  const nn::Tensor kernel = RandomTensor({shape.cout, shape.cin, 5, 5}, 4);
+  const nn::Tensor bias = RandomTensor({shape.cout}, 5);
+  for (auto _ : state) {
+    nn::Tensor out = naive ? nn::Conv2dForwardNaive(input, kernel, bias, 2)
+                           : nn::Conv2dForward(input, kernel, bias, 2);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ConvForwardFlops(batch, shape));
+}
 
 void BM_Conv2dForward(benchmark::State& state) {
+  RunConvForward(state, /*naive=*/false);
+}
+BENCHMARK(BM_Conv2dForward)
+    ->ArgsProduct({{1, 16, 64}, {0, 1}})
+    ->ArgNames({"batch", "layer"});
+
+void BM_Conv2dForwardNaive(benchmark::State& state) {
+  RunConvForward(state, /*naive=*/true);
+}
+BENCHMARK(BM_Conv2dForwardNaive)
+    ->ArgsProduct({{1, 16, 64}, {0, 1}})
+    ->ArgNames({"batch", "layer"});
+
+void RunConvBackward(benchmark::State& state, bool naive) {
   const int batch = static_cast<int>(state.range(0));
-  const nn::Tensor input = RandomTensor({batch, 3, 8, 8}, 3);
-  const nn::Tensor kernel = RandomTensor({8, 3, 5, 5}, 4);
-  const nn::Tensor bias = RandomTensor({8}, 5);
+  const ConvShape shape = kZooConv[static_cast<size_t>(state.range(1))];
+  IntraOpGuard guard(1);
+  const nn::Tensor input =
+      RandomTensor({batch, shape.cin, shape.hw, shape.hw}, 6);
+  const nn::Tensor kernel = RandomTensor({shape.cout, shape.cin, 5, 5}, 7);
+  const nn::Tensor bias = RandomTensor({shape.cout}, 8);
+  const nn::Tensor grad = nn::Conv2dForward(input, kernel, bias, 2);
+  for (auto _ : state) {
+    nn::Tensor grad_input, grad_kernel, grad_bias;
+    if (naive) {
+      nn::Conv2dBackwardNaive(input, kernel, 2, grad, &grad_input,
+                              &grad_kernel, &grad_bias);
+    } else {
+      nn::Conv2dBackward(input, kernel, 2, grad, &grad_input, &grad_kernel,
+                         &grad_bias);
+    }
+    benchmark::DoNotOptimize(grad_input.data());
+  }
+  // Two GEMMs (input grad + kernel grad), each the forward's volume.
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          ConvForwardFlops(batch, shape));
+}
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  RunConvBackward(state, /*naive=*/false);
+}
+BENCHMARK(BM_Conv2dBackward)
+    ->ArgsProduct({{1, 16, 64}, {0, 1}})
+    ->ArgNames({"batch", "layer"});
+
+void BM_Conv2dBackwardNaive(benchmark::State& state) {
+  RunConvBackward(state, /*naive=*/true);
+}
+BENCHMARK(BM_Conv2dBackwardNaive)
+    ->ArgsProduct({{1, 16, 64}, {0, 1}})
+    ->ArgNames({"batch", "layer"});
+
+// Intra-op scaling for conv: one image per chunk across the batch.
+void BM_Conv2dForwardThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  IntraOpGuard guard(threads);
+  const int batch = 64;
+  const ConvShape shape = kZooConv[0];
+  const nn::Tensor input =
+      RandomTensor({batch, shape.cin, shape.hw, shape.hw}, 3);
+  const nn::Tensor kernel = RandomTensor({shape.cout, shape.cin, 5, 5}, 4);
+  const nn::Tensor bias = RandomTensor({shape.cout}, 5);
   for (auto _ : state) {
     nn::Tensor out = nn::Conv2dForward(input, kernel, bias, 2);
     benchmark::DoNotOptimize(out.data());
   }
+  state.SetItemsProcessed(state.iterations() * ConvForwardFlops(batch, shape));
 }
-BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(16)->Arg(64);
+BENCHMARK(BM_Conv2dForwardThreads)->Arg(1)->Arg(2)->Arg(4);
 
-void BM_Conv2dBackward(benchmark::State& state) {
-  const int batch = static_cast<int>(state.range(0));
-  const nn::Tensor input = RandomTensor({batch, 3, 8, 8}, 6);
-  const nn::Tensor kernel = RandomTensor({8, 3, 5, 5}, 7);
-  const nn::Tensor bias = RandomTensor({8}, 8);
-  const nn::Tensor grad = nn::Conv2dForward(input, kernel, bias, 2);
-  for (auto _ : state) {
-    nn::Tensor grad_input, grad_kernel, grad_bias;
-    nn::Conv2dBackward(input, kernel, 2, grad, &grad_input, &grad_kernel,
-                       &grad_bias);
-    benchmark::DoNotOptimize(grad_input.data());
-  }
-}
-BENCHMARK(BM_Conv2dBackward)->Arg(1)->Arg(16)->Arg(64);
+// ------------------------------------------------------------ end to end --
 
 void BM_C10NetForward(benchmark::State& state) {
+  IntraOpGuard guard(1);
   util::Rng rng(9);
   nn::Sequential model = nn::MakeC10Net(&rng);
   const nn::Tensor batch = RandomTensor({16, 3, 8, 8}, 10);
@@ -96,4 +250,11 @@ BENCHMARK(BM_DeserializeModel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("gemm_kernel", fedmigr::nn::GemmKernelName());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,72 @@
 #include "nn/ops.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "nn/gemm.h"
+#include "nn/scratch.h"
 #include "util/logging.h"
 
 namespace fedmigr::nn {
+
+namespace {
+
+// Expands one NCHW image (cin x h x w) into the im2col column matrix
+// cols[cin*kh*kw, oh*ow]: row (ic, ky, kx), column (oy, ox) holds
+// input(ic, oy + ky - pad, ox + kx - pad), zero outside the image. Rows
+// are ordered (ic, ky, kx) — the same order the legacy conv kernel
+// accumulated taps in, so the GEMM's k-ordered reduction reproduces its
+// float association.
+void Im2col(const float* in, int cin, int h, int w, int kh, int kw, int pad,
+            int oh, int ow, float* cols) {
+  float* dst = cols;
+  for (int ic = 0; ic < cin; ++ic) {
+    const float* in_c = in + static_cast<int64_t>(ic) * h * w;
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const int x_lo = std::max(0, pad - kx);
+        const int x_hi = std::min(ow, w + pad - kx);
+        for (int oy = 0; oy < oh; ++oy, dst += ow) {
+          const int iy = oy + ky - pad;
+          if (iy < 0 || iy >= h || x_hi <= x_lo) {
+            std::memset(dst, 0, static_cast<size_t>(ow) * sizeof(float));
+            continue;
+          }
+          for (int ox = 0; ox < x_lo; ++ox) dst[ox] = 0.0f;
+          std::memcpy(dst + x_lo, in_c + iy * w + (x_lo + kx - pad),
+                      static_cast<size_t>(x_hi - x_lo) * sizeof(float));
+          for (int ox = x_hi; ox < ow; ++ox) dst[ox] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// Transpose of Im2col: scatter-adds the column matrix back into the
+// (pre-zeroed) image gradient. Walks rows in the same (ic, ky, kx) order.
+void Col2im(const float* cols, int cin, int h, int w, int kh, int kw, int pad,
+            int oh, int ow, float* gin) {
+  const float* src = cols;
+  for (int ic = 0; ic < cin; ++ic) {
+    float* gin_c = gin + static_cast<int64_t>(ic) * h * w;
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const int x_lo = std::max(0, pad - kx);
+        const int x_hi = std::min(ow, w + pad - kx);
+        for (int oy = 0; oy < oh; ++oy, src += ow) {
+          const int iy = oy + ky - pad;
+          if (iy < 0 || iy >= h || x_hi <= x_lo) continue;
+          float* gin_row = gin_c + iy * w + (x_lo + kx - pad);
+          for (int ox = x_lo; ox < x_hi; ++ox) {
+            gin_row[ox - x_lo] += src[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   FEDMIGR_CHECK_EQ(a.ndim(), 2);
@@ -12,19 +74,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   FEDMIGR_CHECK_EQ(b.dim(0), k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // ikj order: streams through B and C rows, cache-friendly for row-major.
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = pa[static_cast<size_t>(i) * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + static_cast<size_t>(kk) * n;
-      float* crow = pc + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  Sgemm(false, false, m, n, k, a.data(), k, b.data(), n, c.data(), n);
   return c;
 }
 
@@ -34,19 +84,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   FEDMIGR_CHECK_EQ(b.dim(0), k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = pa + static_cast<size_t>(kk) * m;
-    const float* brow = pb + static_cast<size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = pc + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Sgemm(true, false, m, n, k, a.data(), m, b.data(), n, c.data(), n);
   return c;
 }
 
@@ -56,19 +94,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   FEDMIGR_CHECK_EQ(b.dim(1), k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* crow = pc + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<size_t>(j) * k;
-      float sum = 0.0f;
-      for (int kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
-      crow[j] = sum;
-    }
-  }
+  Sgemm(false, true, m, n, k, a.data(), k, b.data(), k, c.data(), n);
   return c;
 }
 
@@ -86,48 +112,35 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& kernel,
   FEDMIGR_CHECK_GT(oh, 0);
   FEDMIGR_CHECK_GT(ow, 0);
   Tensor output({batch, cout, oh, ow});
+
+  const int kcols = cin * kh * kw;  // GEMM reduction depth
+  const int ohw = oh * ow;
+  const int64_t in_img = static_cast<int64_t>(cin) * h * w;
+  const int64_t out_img = static_cast<int64_t>(cout) * ohw;
   const float* in = input.data();
-  const float* ker = kernel.data();
+  const float* ker = kernel.data();  // [cout, kcols] row-major
+  const float* bias_p = bias.data();
   float* out = output.data();
-  const int64_t in_chan = static_cast<int64_t>(h) * w;
-  const int64_t in_img = in_chan * cin;
-  const int64_t out_chan = static_cast<int64_t>(oh) * ow;
-  const int64_t out_img = out_chan * cout;
-  const int64_t ker_chan = static_cast<int64_t>(kh) * kw;
-  const int64_t ker_filter = ker_chan * cin;
-  for (int n = 0; n < batch; ++n) {
-    const float* in_n = in + n * in_img;
-    float* out_n = out + n * out_img;
-    for (int oc = 0; oc < cout; ++oc) {
-      const float b = bias[oc];
-      float* out_c = out_n + oc * out_chan;
-      for (int64_t i = 0; i < out_chan; ++i) out_c[i] = b;
-      const float* ker_f = ker + oc * ker_filter;
-      for (int ic = 0; ic < cin; ++ic) {
-        const float* in_c = in_n + ic * in_chan;
-        const float* ker_c = ker_f + ic * ker_chan;
-        // Accumulate one kernel tap across the whole output plane: the
-        // inner loops become contiguous row sweeps.
-        for (int ky = 0; ky < kh; ++ky) {
-          for (int kx = 0; kx < kw; ++kx) {
-            const float kv = ker_c[ky * kw + kx];
-            if (kv == 0.0f) continue;
-            for (int oy = 0; oy < oh; ++oy) {
-              const int iy = oy + ky - pad;
-              if (iy < 0 || iy >= h) continue;
-              const int x_lo = std::max(0, pad - kx);
-              const int x_hi = std::min(ow, w + pad - kx);
-              const float* in_row = in_c + iy * w + (x_lo + kx - pad);
-              float* out_row = out_c + oy * ow + x_lo;
-              for (int ox = x_lo; ox < x_hi; ++ox) {
-                *out_row++ += kv * *in_row++;
-              }
-            }
-          }
-        }
+
+  // One image per parallel chunk; images are independent, so any split of
+  // the batch yields bit-identical outputs.
+  IntraOpParallelRange(batch, 1, [&](int64_t img_begin, int64_t img_end) {
+    ScratchArena::Scope scope;
+    float* cols = ScratchArena::ThreadLocal().AllocFloats(
+        static_cast<int64_t>(kcols) * ohw);
+    for (int64_t img = img_begin; img < img_end; ++img) {
+      Im2col(in + img * in_img, cin, h, w, kh, kw, pad, oh, ow, cols);
+      float* out_n = out + img * out_img;
+      // Pre-fill with the bias and let the GEMM accumulate on top of it
+      // (kSeedFromC), matching the legacy kernel's bias-first reduction.
+      for (int oc = 0; oc < cout; ++oc) {
+        std::fill(out_n + static_cast<int64_t>(oc) * ohw,
+                  out_n + static_cast<int64_t>(oc + 1) * ohw, bias_p[oc]);
       }
+      Sgemm(false, false, cout, ohw, kcols, ker, kcols, cols, ohw, out_n, ohw,
+            GemmAcc::kSeedFromC);
     }
-  }
+  });
   return output;
 }
 
@@ -145,58 +158,57 @@ void Conv2dBackward(const Tensor& input, const Tensor& kernel, int pad,
   *grad_kernel = Tensor(kernel.shape());
   *grad_bias = Tensor(Shape{cout});
 
+  const int kcols = cin * kh * kw;
+  const int ohw = oh * ow;
+  const int64_t in_img = static_cast<int64_t>(cin) * h * w;
+  const int64_t out_img = static_cast<int64_t>(cout) * ohw;
   const float* in = input.data();
   const float* ker = kernel.data();
   const float* go = grad_output.data();
   float* gin = grad_input->data();
   float* gker = grad_kernel->data();
   float* gbias = grad_bias->data();
-  const int64_t in_chan = static_cast<int64_t>(h) * w;
-  const int64_t in_img = in_chan * cin;
-  const int64_t out_chan = static_cast<int64_t>(oh) * ow;
-  const int64_t out_img = out_chan * cout;
-  const int64_t ker_chan = static_cast<int64_t>(kh) * kw;
-  const int64_t ker_filter = ker_chan * cin;
 
-  for (int n = 0; n < batch; ++n) {
-    const float* in_n = in + n * in_img;
-    const float* go_n = go + n * out_img;
-    float* gin_n = gin + n * in_img;
+  // Bias gradient: a cheap streaming sum, kept serial and in the legacy
+  // element order.
+  for (int64_t img = 0; img < batch; ++img) {
+    const float* go_n = go + img * out_img;
     for (int oc = 0; oc < cout; ++oc) {
-      const float* go_c = go_n + oc * out_chan;
-      for (int64_t i = 0; i < out_chan; ++i) gbias[oc] += go_c[i];
-      const float* ker_f = ker + oc * ker_filter;
-      float* gker_f = gker + oc * ker_filter;
-      for (int ic = 0; ic < cin; ++ic) {
-        const float* in_c = in_n + ic * in_chan;
-        float* gin_c = gin_n + ic * in_chan;
-        const float* ker_c = ker_f + ic * ker_chan;
-        float* gker_c = gker_f + ic * ker_chan;
-        for (int ky = 0; ky < kh; ++ky) {
-          for (int kx = 0; kx < kw; ++kx) {
-            const float kv = ker_c[ky * kw + kx];
-            float tap_grad = 0.0f;
-            for (int oy = 0; oy < oh; ++oy) {
-              const int iy = oy + ky - pad;
-              if (iy < 0 || iy >= h) continue;
-              const int x_lo = std::max(0, pad - kx);
-              const int x_hi = std::min(ow, w + pad - kx);
-              const float* in_row = in_c + iy * w + (x_lo + kx - pad);
-              float* gin_row = gin_c + iy * w + (x_lo + kx - pad);
-              const float* go_row = go_c + oy * ow + x_lo;
-              for (int ox = x_lo; ox < x_hi; ++ox) {
-                const float g = *go_row++;
-                tap_grad += g * *in_row;
-                *gin_row += g * kv;
-                ++in_row;
-                ++gin_row;
-              }
-            }
-            gker_c[ky * kw + kx] += tap_grad;
-          }
-        }
-      }
+      const float* go_c = go_n + static_cast<int64_t>(oc) * ohw;
+      for (int i = 0; i < ohw; ++i) gbias[oc] += go_c[i];
     }
+  }
+
+  // Kernel gradient: per-image register-reduced partials (one GEMM each),
+  // summed across the batch in image order afterwards — the reduction
+  // tree is fixed, so the result is independent of the thread count.
+  ScratchArena::Scope caller_scope;
+  const int64_t gk_size = static_cast<int64_t>(cout) * kcols;
+  float* gker_partials =
+      ScratchArena::ThreadLocal().AllocFloats(batch * gk_size);
+
+  IntraOpParallelRange(batch, 1, [&](int64_t img_begin, int64_t img_end) {
+    ScratchArena::Scope scope;
+    ScratchArena& arena = ScratchArena::ThreadLocal();
+    float* cols = arena.AllocFloats(static_cast<int64_t>(kcols) * ohw);
+    float* cols_grad = arena.AllocFloats(static_cast<int64_t>(kcols) * ohw);
+    for (int64_t img = img_begin; img < img_end; ++img) {
+      const float* go_n = go + img * out_img;
+      // dK_img = dY_img (cout x ohw) · cols_img^T (ohw x kcols).
+      Im2col(in + img * in_img, cin, h, w, kh, kw, pad, oh, ow, cols);
+      Sgemm(false, true, cout, kcols, ohw, go_n, ohw, cols, ohw,
+            gker_partials + img * gk_size, kcols, GemmAcc::kOverwrite);
+      // dcols = K^T (kcols x cout) · dY_img (cout x ohw), scattered back
+      // into this image's (disjoint) slice of grad_input.
+      Sgemm(true, false, kcols, ohw, cout, ker, kcols, go_n, ohw, cols_grad,
+            ohw, GemmAcc::kOverwrite);
+      Col2im(cols_grad, cin, h, w, kh, kw, pad, oh, ow, gin + img * in_img);
+    }
+  });
+
+  for (int64_t img = 0; img < batch; ++img) {
+    const float* partial = gker_partials + img * gk_size;
+    for (int64_t i = 0; i < gk_size; ++i) gker[i] += partial[i];
   }
 }
 
@@ -209,30 +221,39 @@ Tensor MaxPool2x2Forward(const Tensor& input, Tensor* argmax) {
   const int oh = h / 2, ow = w / 2;
   Tensor output({batch, c, oh, ow});
   *argmax = Tensor({batch, c, oh, ow});
-  for (int n = 0; n < batch; ++n) {
-    for (int ch = 0; ch < c; ++ch) {
-      for (int oy = 0; oy < oh; ++oy) {
-        for (int ox = 0; ox < ow; ++ox) {
-          float best = input.At(n, ch, 2 * oy, 2 * ox);
-          int best_dy = 0, best_dx = 0;
-          for (int dy = 0; dy < 2; ++dy) {
-            for (int dx = 0; dx < 2; ++dx) {
-              const float v = input.At(n, ch, 2 * oy + dy, 2 * ox + dx);
-              if (v > best) {
-                best = v;
-                best_dy = dy;
-                best_dx = dx;
-              }
-            }
-          }
-          output.At(n, ch, oy, ox) = best;
-          // Flat offset of the winning element in the input buffer.
-          const int64_t flat =
-              ((static_cast<int64_t>(n) * c + ch) * h + (2 * oy + best_dy)) *
-                  w +
-              (2 * ox + best_dx);
-          argmax->At(n, ch, oy, ox) = static_cast<float>(flat);
+  const float* in = input.data();
+  float* out = output.data();
+  float* arg = argmax->data();
+  const int64_t planes = static_cast<int64_t>(batch) * c;
+  for (int64_t plane = 0; plane < planes; ++plane) {
+    const float* in_p = in + plane * h * w;
+    const int64_t in_base = plane * h * w;
+    for (int oy = 0; oy < oh; ++oy) {
+      const float* row0 = in_p + (2 * oy) * w;
+      const float* row1 = row0 + w;
+      for (int ox = 0; ox < ow; ++ox) {
+        const int x = 2 * ox;
+        // Same tie-breaking as the scalar original: strictly-greater
+        // comparisons in (dy, dx) order keep the first maximum.
+        float best = row0[x];
+        int best_dy = 0, best_dx = 0;
+        if (row0[x + 1] > best) {
+          best = row0[x + 1];
+          best_dx = 1;
         }
+        if (row1[x] > best) {
+          best = row1[x];
+          best_dy = 1;
+          best_dx = 0;
+        }
+        if (row1[x + 1] > best) {
+          best = row1[x + 1];
+          best_dy = 1;
+          best_dx = 1;
+        }
+        *out++ = best;
+        *arg++ = static_cast<float>(in_base + (2 * oy + best_dy) * w + x +
+                                    best_dx);
       }
     }
   }

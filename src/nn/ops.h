@@ -1,10 +1,12 @@
-// Core numeric kernels shared by the layers: GEMM-style matrix products and
-// the convolution / pooling forward & backward passes.
+// Core numeric kernels shared by the layers: GEMM-backed matrix products,
+// im2col-lowered convolution forward & backward, and pooling.
 //
-// The kernels are plain loop nests with register blocking where it matters
-// (matmul inner loops). Model sizes in the FedMigr experiments are small
-// (tens of thousands to a few million parameters), so clarity wins over
-// vendor-BLAS-grade tuning.
+// The matrix products call the blocked/packed/vectorized SGEMM in
+// nn/gemm.h; convolutions are lowered onto the same GEMM through
+// im2col/col2im with per-thread scratch-arena buffers (nn/scratch.h).
+// The naive scalar loop nests they replaced are retained below as
+// *Naive reference kernels — the ground truth for the randomized
+// equivalence tests and the "pre-optimization" side of bench_nn_ops.
 
 #ifndef FEDMIGR_NN_OPS_H_
 #define FEDMIGR_NN_OPS_H_
@@ -39,6 +41,19 @@ void Conv2dBackward(const Tensor& input, const Tensor& kernel, int pad,
 Tensor MaxPool2x2Forward(const Tensor& input, Tensor* argmax);
 Tensor MaxPool2x2Backward(const Tensor& grad_output, const Tensor& argmax,
                           const Shape& input_shape);
+
+// ------------------------------------------------------ reference kernels --
+// The pre-GEMM scalar implementations (ops_naive.cc). Semantically
+// identical to the ops above; kept as the oracle for property tests and
+// as the baseline side of the kernel benchmarks. Not used by the layers.
+Tensor MatMulNaive(const Tensor& a, const Tensor& b);
+Tensor MatMulTransANaive(const Tensor& a, const Tensor& b);
+Tensor MatMulTransBNaive(const Tensor& a, const Tensor& b);
+Tensor Conv2dForwardNaive(const Tensor& input, const Tensor& kernel,
+                          const Tensor& bias, int pad);
+void Conv2dBackwardNaive(const Tensor& input, const Tensor& kernel, int pad,
+                         const Tensor& grad_output, Tensor* grad_input,
+                         Tensor* grad_kernel, Tensor* grad_bias);
 
 }  // namespace fedmigr::nn
 

@@ -1,0 +1,207 @@
+// Reference kernels: the scalar loop nests the GEMM layer replaced.
+// These are the oracle for the randomized equivalence tests in
+// tests/nn/gemm_test.cc and the baseline side of bench_nn_ops; the layers
+// never call them. Keep them boring and obviously correct.
+
+#include <algorithm>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace fedmigr::nn {
+
+Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
+  FEDMIGR_CHECK_EQ(a.ndim(), 2);
+  FEDMIGR_CHECK_EQ(b.ndim(), 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FEDMIGR_CHECK_EQ(b.dim(0), k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj order: streams through B and C rows, cache-friendly for row-major.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = pa[static_cast<size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + static_cast<size_t>(kk) * n;
+      float* crow = pc + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransANaive(const Tensor& a, const Tensor& b) {
+  FEDMIGR_CHECK_EQ(a.ndim(), 2);
+  FEDMIGR_CHECK_EQ(b.ndim(), 2);
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  FEDMIGR_CHECK_EQ(b.dim(0), k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = pa + static_cast<size_t>(kk) * m;
+    const float* brow = pb + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransBNaive(const Tensor& a, const Tensor& b) {
+  FEDMIGR_CHECK_EQ(a.ndim(), 2);
+  FEDMIGR_CHECK_EQ(b.ndim(), 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  FEDMIGR_CHECK_EQ(b.dim(1), k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<size_t>(i) * k;
+    float* crow = pc + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<size_t>(j) * k;
+      float sum = 0.0f;
+      for (int kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+      crow[j] = sum;
+    }
+  }
+  return c;
+}
+
+Tensor Conv2dForwardNaive(const Tensor& input, const Tensor& kernel,
+                          const Tensor& bias, int pad) {
+  FEDMIGR_CHECK_EQ(input.ndim(), 4);
+  FEDMIGR_CHECK_EQ(kernel.ndim(), 4);
+  const int batch = input.dim(0), cin = input.dim(1);
+  const int h = input.dim(2), w = input.dim(3);
+  const int cout = kernel.dim(0), kh = kernel.dim(2), kw = kernel.dim(3);
+  FEDMIGR_CHECK_EQ(kernel.dim(1), cin);
+  FEDMIGR_CHECK_EQ(bias.size(), cout);
+  const int oh = h + 2 * pad - kh + 1;
+  const int ow = w + 2 * pad - kw + 1;
+  FEDMIGR_CHECK_GT(oh, 0);
+  FEDMIGR_CHECK_GT(ow, 0);
+  Tensor output({batch, cout, oh, ow});
+  const float* in = input.data();
+  const float* ker = kernel.data();
+  float* out = output.data();
+  const int64_t in_chan = static_cast<int64_t>(h) * w;
+  const int64_t in_img = in_chan * cin;
+  const int64_t out_chan = static_cast<int64_t>(oh) * ow;
+  const int64_t out_img = out_chan * cout;
+  const int64_t ker_chan = static_cast<int64_t>(kh) * kw;
+  const int64_t ker_filter = ker_chan * cin;
+  for (int n = 0; n < batch; ++n) {
+    const float* in_n = in + n * in_img;
+    float* out_n = out + n * out_img;
+    for (int oc = 0; oc < cout; ++oc) {
+      const float b = bias[oc];
+      float* out_c = out_n + oc * out_chan;
+      for (int64_t i = 0; i < out_chan; ++i) out_c[i] = b;
+      const float* ker_f = ker + oc * ker_filter;
+      for (int ic = 0; ic < cin; ++ic) {
+        const float* in_c = in_n + ic * in_chan;
+        const float* ker_c = ker_f + ic * ker_chan;
+        // Accumulate one kernel tap across the whole output plane: the
+        // inner loops become contiguous row sweeps.
+        for (int ky = 0; ky < kh; ++ky) {
+          for (int kx = 0; kx < kw; ++kx) {
+            const float kv = ker_c[ky * kw + kx];
+            if (kv == 0.0f) continue;
+            for (int oy = 0; oy < oh; ++oy) {
+              const int iy = oy + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              const int x_lo = std::max(0, pad - kx);
+              const int x_hi = std::min(ow, w + pad - kx);
+              const float* in_row = in_c + iy * w + (x_lo + kx - pad);
+              float* out_row = out_c + oy * ow + x_lo;
+              for (int ox = x_lo; ox < x_hi; ++ox) {
+                *out_row++ += kv * *in_row++;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return output;
+}
+
+void Conv2dBackwardNaive(const Tensor& input, const Tensor& kernel, int pad,
+                         const Tensor& grad_output, Tensor* grad_input,
+                         Tensor* grad_kernel, Tensor* grad_bias) {
+  const int batch = input.dim(0), cin = input.dim(1);
+  const int h = input.dim(2), w = input.dim(3);
+  const int cout = kernel.dim(0), kh = kernel.dim(2), kw = kernel.dim(3);
+  const int oh = grad_output.dim(2), ow = grad_output.dim(3);
+  FEDMIGR_CHECK_EQ(grad_output.dim(0), batch);
+  FEDMIGR_CHECK_EQ(grad_output.dim(1), cout);
+
+  *grad_input = Tensor(input.shape());
+  *grad_kernel = Tensor(kernel.shape());
+  *grad_bias = Tensor(Shape{cout});
+
+  const float* in = input.data();
+  const float* ker = kernel.data();
+  const float* go = grad_output.data();
+  float* gin = grad_input->data();
+  float* gker = grad_kernel->data();
+  float* gbias = grad_bias->data();
+  const int64_t in_chan = static_cast<int64_t>(h) * w;
+  const int64_t in_img = in_chan * cin;
+  const int64_t out_chan = static_cast<int64_t>(oh) * ow;
+  const int64_t out_img = out_chan * cout;
+  const int64_t ker_chan = static_cast<int64_t>(kh) * kw;
+  const int64_t ker_filter = ker_chan * cin;
+
+  for (int n = 0; n < batch; ++n) {
+    const float* in_n = in + n * in_img;
+    const float* go_n = go + n * out_img;
+    float* gin_n = gin + n * in_img;
+    for (int oc = 0; oc < cout; ++oc) {
+      const float* go_c = go_n + oc * out_chan;
+      for (int64_t i = 0; i < out_chan; ++i) gbias[oc] += go_c[i];
+      const float* ker_f = ker + oc * ker_filter;
+      float* gker_f = gker + oc * ker_filter;
+      for (int ic = 0; ic < cin; ++ic) {
+        const float* in_c = in_n + ic * in_chan;
+        float* gin_c = gin_n + ic * in_chan;
+        const float* ker_c = ker_f + ic * ker_chan;
+        float* gker_c = gker_f + ic * ker_chan;
+        for (int ky = 0; ky < kh; ++ky) {
+          for (int kx = 0; kx < kw; ++kx) {
+            const float kv = ker_c[ky * kw + kx];
+            float tap_grad = 0.0f;
+            for (int oy = 0; oy < oh; ++oy) {
+              const int iy = oy + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              const int x_lo = std::max(0, pad - kx);
+              const int x_hi = std::min(ow, w + pad - kx);
+              const float* in_row = in_c + iy * w + (x_lo + kx - pad);
+              float* gin_row = gin_c + iy * w + (x_lo + kx - pad);
+              const float* go_row = go_c + oy * ow + x_lo;
+              for (int ox = x_lo; ox < x_hi; ++ox) {
+                const float g = *go_row++;
+                tap_grad += g * *in_row;
+                *gin_row += g * kv;
+                ++in_row;
+                ++gin_row;
+              }
+            }
+            gker_c[ky * kw + kx] += tap_grad;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedmigr::nn

@@ -1,0 +1,64 @@
+#include "nn/scratch.h"
+
+#include <algorithm>
+
+namespace fedmigr::nn {
+
+namespace {
+constexpr int64_t kGranularity = 16;       // floats; keeps panels 64B-apart
+constexpr int64_t kMinChunkFloats = 1 << 16;  // 256 KiB first chunk
+}  // namespace
+
+float* ScratchArena::AllocFloats(int64_t n) {
+  n = (n + kGranularity - 1) / kGranularity * kGranularity;
+  // Advance through existing chunks (everything past current_ is fully
+  // rewound) before growing.
+  while (current_ < chunks_.size()) {
+    Chunk& chunk = chunks_[current_];
+    if (chunk.capacity - chunk.used >= n) {
+      float* out = chunk.data.get() + chunk.used;
+      chunk.used += n;
+      return out;
+    }
+    ++current_;
+  }
+  Chunk chunk;
+  const int64_t prev =
+      chunks_.empty() ? 0 : 2 * chunks_.back().capacity;
+  chunk.capacity = std::max({n, prev, kMinChunkFloats});
+  chunk.data = std::make_unique<float[]>(static_cast<size_t>(chunk.capacity));
+  chunk.used = n;
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+  return chunks_.back().data.get();
+}
+
+ScratchArena& ScratchArena::ThreadLocal() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+int64_t ScratchArena::capacity() const {
+  int64_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.capacity;
+  return total;
+}
+
+ScratchArena::Scope::Scope()
+    : arena_(ThreadLocal()),
+      chunk_(arena_.current_),
+      used_(arena_.chunks_.empty()
+                ? 0
+                : arena_.chunks_[arena_.current_].used) {}
+
+ScratchArena::Scope::~Scope() {
+  for (size_t i = chunk_ + 1; i < arena_.chunks_.size(); ++i) {
+    arena_.chunks_[i].used = 0;
+  }
+  if (chunk_ < arena_.chunks_.size()) {
+    arena_.chunks_[chunk_].used = used_;
+  }
+  arena_.current_ = chunk_;
+}
+
+}  // namespace fedmigr::nn

@@ -1,0 +1,72 @@
+#include "nn/scratch.h"
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::nn {
+namespace {
+
+TEST(ScratchArenaTest, AllocationsAreDisjointAndWritable) {
+  ScratchArena::Scope scope;
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  float* a = arena.AllocFloats(100);
+  float* b = arena.AllocFloats(200);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (int i = 0; i < 100; ++i) a[i] = 1.0f;
+  for (int i = 0; i < 200; ++i) b[i] = 2.0f;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a[i], 1.0f);
+}
+
+TEST(ScratchArenaTest, ScopeRewindReusesMemoryWithoutGrowth) {
+  // Warm up: one large allocation establishes the chunk.
+  {
+    ScratchArena::Scope scope;
+    ScratchArena::ThreadLocal().AllocFloats(1 << 12);
+  }
+  const int64_t warm = ScratchArena::ThreadLocal().capacity();
+  for (int round = 0; round < 100; ++round) {
+    ScratchArena::Scope scope;
+    float* p = ScratchArena::ThreadLocal().AllocFloats(1 << 12);
+    p[0] = static_cast<float>(round);
+  }
+  // Steady-state reuse: the hot loop must not have grown the arena.
+  EXPECT_EQ(ScratchArena::ThreadLocal().capacity(), warm);
+}
+
+TEST(ScratchArenaTest, NestedScopesKeepOuterPointersValid) {
+  ScratchArena::Scope outer;
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  float* a = arena.AllocFloats(64);
+  std::memset(a, 0, 64 * sizeof(float));
+  a[63] = 7.0f;
+  {
+    ScratchArena::Scope inner;
+    // Force growth past the current chunk while `a` is live.
+    float* big = arena.AllocFloats(1 << 20);
+    big[0] = 1.0f;
+  }
+  // Growth appends chunks; it never moves prior allocations.
+  EXPECT_EQ(a[63], 7.0f);
+  float* b = arena.AllocFloats(64);
+  EXPECT_NE(a, b);
+}
+
+TEST(ScratchArenaTest, ArenasAreThreadLocal) {
+  ScratchArena::Scope scope;
+  float* mine = ScratchArena::ThreadLocal().AllocFloats(16);
+  float* theirs = nullptr;
+  std::thread other([&theirs] {
+    ScratchArena::Scope s;
+    theirs = ScratchArena::ThreadLocal().AllocFloats(16);
+    theirs[0] = 3.0f;
+  });
+  other.join();
+  EXPECT_NE(mine, theirs);
+}
+
+}  // namespace
+}  // namespace fedmigr::nn
