@@ -16,8 +16,13 @@
 #include "common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedmigr;
+
+  // Crash-safe mode: pass --snapshot-dir=DIR (and later --resume) to make
+  // the three 150-epoch runs survive interruption.
+  const bench::SnapshotFlags snapshot_flags =
+      bench::ParseSnapshotFlags(argc, argv);
 
   const char* strategies[] = {"crosslan", "randonly", "withinlan"};
   const uint64_t seeds[] = {5, 6, 7};
@@ -41,7 +46,15 @@ int main() {
     run.eval_every = kEvalEvery;
     run.seed = seed;
     for (const char* strategy : strategies) {
-      const fl::RunResult result = bench::RunBench(workload, strategy, run);
+      const fl::RunResult result =
+          bench::RunBench(workload, strategy, run, snapshot_flags);
+      if (result.interrupted) {
+        // Partial history; the snapshot holds the progress. The table from
+        // this invocation is incomplete — rerun with --resume.
+        std::fprintf(stderr, "interrupted: %s seed %d — rerun with --resume\n",
+                     strategy, static_cast<int>(seed));
+        continue;
+      }
       auto& sums = accuracy_sum[strategy];
       for (size_t c = 0; c < sums.size(); ++c) {
         const size_t epoch_index = (c + 1) * kEvalEvery - 1;

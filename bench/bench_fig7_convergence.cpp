@@ -13,8 +13,11 @@
 #include "common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedmigr;
+
+  const bench::SnapshotFlags snapshot_flags =
+      bench::ParseSnapshotFlags(argc, argv);
 
   bench::BenchWorkloadOptions workload_options;
   workload_options.partition = core::PartitionKind::kLanShard;
@@ -33,7 +36,8 @@ int main() {
       {"Scheme", "epochs to target", "final acc (%)", "reached"});
   for (const char* scheme :
        {"fedmigr", "randmigr", "fedswap", "fedprox", "fedavg"}) {
-    const fl::RunResult result = bench::RunBench(workload, scheme, run);
+    const fl::RunResult result =
+        bench::RunBench(workload, scheme, run, snapshot_flags);
     table.AddRow();
     table.AddCell(scheme);
     table.AddCell(result.reached_target ? result.epochs_to_target

@@ -1,0 +1,140 @@
+// Snapshot overhead at the Fig. 3 operating point: serialized size and
+// per-epoch cost of the durable run snapshots (DESIGN.md §9), measured for
+// the cheapest scheme (FedAvg, no policy state) and the heaviest (FedMigr:
+// DDPG actor/critic/targets, Adam moments, prioritized replay).
+//
+// Each epoch the hook serializes the full trainer state, then atomically
+// publishes the framed container (tmp + fsync + rename). Both halves are
+// timed separately against the plain epoch time, which is what a user pays
+// when enabling --snapshot-dir on a bench.
+//
+//   $ ./bench_snapshot [--epochs=N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "util/csv.h"
+#include "util/file.h"
+#include "util/serial.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct OverheadSample {
+  double epoch_ms = 0.0;      // full epoch without any snapshot work
+  double serialize_ms = 0.0;  // Trainer::SaveState into a byte buffer
+  double publish_ms = 0.0;    // frame + tmp + fsync + rename
+  size_t framed_bytes = 0;    // on-disk snapshot size
+};
+
+OverheadSample Measure(const fedmigr::core::Workload& workload,
+                       const std::string& scheme, int epochs,
+                       const std::string& dir) {
+  using namespace fedmigr;
+  bench::BenchRunOptions run;
+  run.max_epochs = epochs;
+  run.eval_every = epochs;  // keep evaluation out of the per-epoch time
+
+  // Baseline: the same run with no snapshot work at all.
+  fl::SchemeSetup baseline = bench::MakeBenchScheme(scheme, workload, run);
+  fl::Trainer plain(baseline.config, &workload.data.train, workload.partition,
+                    &workload.data.test, workload.topology, workload.devices,
+                    workload.model_factory, std::move(baseline.policy));
+  const Clock::time_point plain_start = Clock::now();
+  plain.Run();
+  OverheadSample sample;
+  sample.epoch_ms = MsSince(plain_start) / epochs;
+
+  // Instrumented: serialize and publish once per epoch, timed separately.
+  fl::SchemeSetup setup = bench::MakeBenchScheme(scheme, workload, run);
+  fl::Trainer trainer(setup.config, &workload.data.train, workload.partition,
+                      &workload.data.test, workload.topology,
+                      workload.devices, workload.model_factory,
+                      std::move(setup.policy));
+  const std::string path = dir + "/" + scheme + ".fsnp";
+  int saves = 0;
+  trainer.SetEpochHook([&](const fl::Trainer& t, int) {
+    Clock::time_point start = Clock::now();
+    util::ByteWriter writer;
+    t.SaveState(&writer);
+    sample.serialize_ms += MsSince(start);
+
+    start = Clock::now();
+    const util::Status status =
+        core::WriteSnapshotFile(path, writer.TakeBytes());
+    sample.publish_ms += MsSince(start);
+    if (!status.ok()) {
+      std::fprintf(stderr, "snapshot publish failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    ++saves;
+    return true;
+  });
+  trainer.Run();
+  sample.serialize_ms /= saves;
+  sample.publish_ms /= saves;
+  const auto framed = util::ReadFileBytes(path);
+  sample.framed_bytes = framed.ok() ? framed.value().size() : 0;
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedmigr;
+
+  int epochs = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      epochs = std::max(1, std::atoi(argv[i] + 9));
+    }
+  }
+
+  // The Fig. 3 workload: C10 analogue, LAN-correlated non-IID, 10 clients.
+  const core::Workload workload =
+      bench::MakeBenchWorkload(bench::BenchWorkloadOptions{});
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/fedmigr-bench-snapshot";
+  if (util::Status status = util::MakeDirectories(dir); !status.ok()) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "Snapshot overhead per epoch (Fig. 3 workload, %d epochs/scheme)\n\n",
+      epochs);
+  util::TableWriter table({"scheme", "snapshot (KB)", "epoch (ms)",
+                           "serialize (ms)", "publish (ms)",
+                           "overhead (%)"});
+  for (const char* scheme : {"fedavg", "fedmigr"}) {
+    const OverheadSample s = Measure(workload, scheme, epochs, dir);
+    table.AddRow();
+    table.AddCell(scheme);
+    table.AddCell(static_cast<double>(s.framed_bytes) / 1024.0, 1);
+    table.AddCell(s.epoch_ms, 2);
+    table.AddCell(s.serialize_ms, 3);
+    table.AddCell(s.publish_ms, 3);
+    table.AddCell(100.0 * (s.serialize_ms + s.publish_ms) / s.epoch_ms, 1);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\noverhead = (serialize + publish) / plain epoch time, snapshotting "
+      "every epoch\n(the default bench cadence; --snapshot-every=N divides "
+      "it by N).\n");
+  return 0;
+}

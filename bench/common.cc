@@ -1,6 +1,9 @@
 #include "common.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "fl/policies.h"
 #include "util/logging.h"
@@ -59,6 +62,54 @@ fl::RunResult RunBench(const core::Workload& workload,
                        const std::string& scheme,
                        const BenchRunOptions& options) {
   return core::RunScheme(workload, MakeBenchScheme(scheme, workload, options));
+}
+
+namespace {
+
+// Returns the value of a "--flag=value" argument, or nullptr.
+const char* FlagValue(const char* arg, const char* prefix) {
+  const size_t len = std::strlen(prefix);
+  return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+}
+
+}  // namespace
+
+SnapshotFlags ParseSnapshotFlags(int argc, char** argv) {
+  SnapshotFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue(argv[i], "--snapshot-dir=")) {
+      flags.directory = v;
+    } else if (const char* v = FlagValue(argv[i], "--snapshot-every=")) {
+      flags.every_epochs = std::max(1, std::atoi(v));
+    } else if (const char* v = FlagValue(argv[i], "--snapshot-keep=")) {
+      flags.keep = std::max(1, std::atoi(v));
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      flags.resume = true;
+    }
+  }
+  return flags;
+}
+
+core::RunControl MakeRunControl(const SnapshotFlags& flags,
+                                const std::string& run_name) {
+  core::RunControl control;
+  if (!flags.enabled()) return control;
+  control.snapshot.directory = flags.directory + "/" + run_name;
+  control.snapshot.every_epochs = flags.every_epochs;
+  control.snapshot.keep = flags.keep;
+  control.resume = flags.resume;
+  control.handle_signals = true;
+  return control;
+}
+
+fl::RunResult RunBench(const core::Workload& workload,
+                       const std::string& scheme,
+                       const BenchRunOptions& options,
+                       const SnapshotFlags& flags) {
+  const std::string run_name =
+      scheme + "-s" + std::to_string(options.seed);
+  return core::RunScheme(workload, MakeBenchScheme(scheme, workload, options),
+                         MakeRunControl(flags, run_name));
 }
 
 std::string PercentChange(double baseline, double value) {

@@ -15,6 +15,7 @@
 
 #include "core/experiment.h"
 #include "core/fedmigr.h"
+#include "core/snapshot.h"
 #include "dp/gaussian.h"
 #include "fl/schemes.h"
 #include "net/budget.h"
@@ -60,6 +61,36 @@ fl::SchemeSetup MakeBenchScheme(const std::string& name,
 fl::RunResult RunBench(const core::Workload& workload,
                        const std::string& scheme,
                        const BenchRunOptions& options);
+
+// Crash-safety flags shared by the bench binaries:
+//   --snapshot-dir=DIR   durable run snapshots under DIR (empty = off)
+//   --snapshot-every=N   snapshot cadence in completed epochs (default 1)
+//   --snapshot-keep=N    snapshots retained per run (default 2)
+//   --resume             continue from the newest valid snapshot
+// Unrecognized arguments are ignored, so binaries can layer their own.
+struct SnapshotFlags {
+  std::string directory;
+  int every_epochs = 1;
+  int keep = 2;
+  bool resume = false;
+  bool enabled() const { return !directory.empty(); }
+};
+
+SnapshotFlags ParseSnapshotFlags(int argc, char** argv);
+
+// The RunControl for one named run. Snapshots land in
+// <flags.directory>/<run_name>/ so runs in one bench don't collide, and
+// SIGINT/SIGTERM flush a final snapshot before stopping.
+core::RunControl MakeRunControl(const SnapshotFlags& flags,
+                                const std::string& run_name);
+
+// RunBench with crash-safety. The run name is "<scheme>-s<seed>"; binaries
+// that launch several runs per (scheme, seed) pair should build their own
+// RunControl via MakeRunControl with a distinguishing name instead.
+fl::RunResult RunBench(const core::Workload& workload,
+                       const std::string& scheme,
+                       const BenchRunOptions& options,
+                       const SnapshotFlags& flags);
 
 // "a -> b (-37%)" helper for change-vs-baseline cells.
 std::string PercentChange(double baseline, double value);

@@ -1,0 +1,264 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/file.h"
+#include "util/logging.h"
+#include "util/serial.h"
+
+namespace fedmigr::core {
+
+namespace {
+
+// "FSNP" read as a little-endian u32.
+constexpr uint32_t kSnapshotMagic = 0x504E5346u;
+constexpr uint32_t kSnapshotVersion = 1;
+// magic + version + payload_size before the payload, crc32 after it.
+constexpr size_t kHeaderSize = 4 + 4 + 8;
+constexpr size_t kFrameOverhead = kHeaderSize + 4;
+
+constexpr char kSnapshotPrefix[] = "snap-";
+constexpr char kSnapshotSuffix[] = ".fsnp";
+
+}  // namespace
+
+std::vector<uint8_t> FrameSnapshot(const std::vector<uint8_t>& payload) {
+  util::ByteWriter writer;
+  writer.WriteU32(kSnapshotMagic);
+  writer.WriteU32(kSnapshotVersion);
+  writer.WriteU64(payload.size());
+  std::vector<uint8_t> framed = writer.TakeBytes();
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  const uint32_t crc = util::Crc32(framed.data(), framed.size());
+  const auto* p = reinterpret_cast<const uint8_t*>(&crc);
+  framed.insert(framed.end(), p, p + sizeof(crc));
+  return framed;
+}
+
+util::Result<std::vector<uint8_t>> UnframeSnapshot(
+    const std::vector<uint8_t>& framed) {
+  if (framed.size() < kFrameOverhead) {
+    return util::Status::DataLoss("snapshot truncated below frame size");
+  }
+  util::ByteReader reader(framed);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  FEDMIGR_RETURN_IF_ERROR(reader.ReadU32(&version));
+  FEDMIGR_RETURN_IF_ERROR(reader.ReadU64(&payload_size));
+  if (magic != kSnapshotMagic) {
+    return util::Status::DataLoss("snapshot magic mismatch");
+  }
+  if (version != kSnapshotVersion) {
+    return util::Status::InvalidArgument("unsupported snapshot version");
+  }
+  if (payload_size != framed.size() - kFrameOverhead) {
+    return util::Status::DataLoss("snapshot payload length mismatch");
+  }
+  const size_t checked = kHeaderSize + static_cast<size_t>(payload_size);
+  const uint32_t expected = util::Crc32(framed.data(), checked);
+  uint32_t stored = 0;
+  std::memcpy(&stored, framed.data() + checked, sizeof(stored));
+  if (stored != expected) {
+    return util::Status::DataLoss("snapshot checksum mismatch");
+  }
+  return std::vector<uint8_t>(framed.begin() + kHeaderSize,
+                              framed.begin() + checked);
+}
+
+util::Status WriteSnapshotFile(const std::string& path,
+                               const std::vector<uint8_t>& payload) {
+  return util::AtomicWriteFile(path, FrameSnapshot(payload));
+}
+
+util::Result<std::vector<uint8_t>> ReadSnapshotFile(const std::string& path) {
+  util::Result<std::vector<uint8_t>> bytes = util::ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return UnframeSnapshot(*bytes);
+}
+
+// --- SnapshotManager ------------------------------------------------------
+
+SnapshotManager::SnapshotManager(SnapshotOptions options)
+    : options_(std::move(options)) {
+  if (options_.every_epochs < 1) options_.every_epochs = 1;
+  if (options_.keep < 1) options_.keep = 1;
+}
+
+std::string SnapshotManager::PathForEpoch(int epoch) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%06d%s", kSnapshotPrefix, epoch,
+                kSnapshotSuffix);
+  return options_.directory + "/" + name;
+}
+
+namespace {
+
+// Parses "snap-NNNNNN.fsnp" into the epoch; -1 for anything else.
+int EpochFromName(const std::string& name) {
+  const size_t prefix = sizeof(kSnapshotPrefix) - 1;
+  const size_t suffix = sizeof(kSnapshotSuffix) - 1;
+  if (name.size() <= prefix + suffix) return -1;
+  if (name.compare(0, prefix, kSnapshotPrefix) != 0) return -1;
+  if (name.compare(name.size() - suffix, suffix, kSnapshotSuffix) != 0) {
+    return -1;
+  }
+  int epoch = 0;
+  for (size_t i = prefix; i < name.size() - suffix; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    if (epoch > 100000000) return -1;
+    epoch = epoch * 10 + (name[i] - '0');
+  }
+  return epoch;
+}
+
+}  // namespace
+
+std::vector<std::string> SnapshotManager::ListSnapshots() const {
+  std::vector<std::pair<int, std::string>> found;
+  util::Result<std::vector<std::string>> names =
+      util::ListDirectory(options_.directory);
+  if (!names.ok()) return {};
+  for (const std::string& name : *names) {
+    const int epoch = EpochFromName(name);
+    if (epoch >= 0) found.emplace_back(epoch, options_.directory + "/" + name);
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [epoch, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+util::Status SnapshotManager::Save(const fl::Trainer& trainer, int epoch) {
+  if (!enabled()) return util::Status::Ok();
+  FEDMIGR_RETURN_IF_ERROR(util::MakeDirectories(options_.directory));
+  util::ByteWriter writer;
+  trainer.SaveState(&writer);
+  FEDMIGR_RETURN_IF_ERROR(WriteSnapshotFile(PathForEpoch(epoch),
+                                            writer.bytes()));
+  // Rotation runs only after a successful publish, so a failed save never
+  // costs an older good snapshot.
+  const std::vector<std::string> snapshots = ListSnapshots();
+  for (size_t i = static_cast<size_t>(options_.keep); i < snapshots.size();
+       ++i) {
+    const util::Status removed = util::RemoveFile(snapshots[i]);
+    if (!removed.ok()) {
+      FEDMIGR_LOG(kWarning) << "snapshot rotation: " << removed.ToString();
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status SnapshotManager::MaybeSave(const fl::Trainer& trainer,
+                                        int epoch) {
+  if (!enabled()) return util::Status::Ok();
+  if (epoch % options_.every_epochs != 0) return util::Status::Ok();
+  return Save(trainer, epoch);
+}
+
+util::Result<int> SnapshotManager::Resume(fl::Trainer* trainer) const {
+  if (!enabled()) return 0;
+  for (const std::string& path : ListSnapshots()) {
+    util::Result<std::vector<uint8_t>> payload = ReadSnapshotFile(path);
+    if (!payload.ok()) {
+      FEDMIGR_LOG(kWarning) << "skipping snapshot " << path << ": "
+                            << payload.status().ToString();
+      continue;
+    }
+    util::ByteReader reader(*payload);
+    const util::Status loaded = trainer->LoadState(&reader);
+    if (!loaded.ok()) {
+      FEDMIGR_LOG(kWarning) << "skipping snapshot " << path << ": "
+                            << loaded.ToString();
+      continue;
+    }
+    return trainer->next_epoch() - 1;
+  }
+  return 0;
+}
+
+// --- Interrupt handling ---------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+// Async-signal-safe: only a lock-free atomic store; the snapshot flush
+// happens on the run thread at the next epoch boundary.
+void HandleSignal(int /*signum*/) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallInterruptHandlers() {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+}
+
+bool InterruptRequested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void RequestInterrupt() {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+void ClearInterrupt() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+// --- RunScheme wiring -----------------------------------------------------
+
+fl::RunResult RunScheme(const Workload& workload, fl::SchemeSetup setup,
+                        const RunControl& control) {
+  fl::Trainer trainer(setup.config, &workload.data.train, workload.partition,
+                      &workload.data.test, workload.topology,
+                      workload.devices, workload.model_factory,
+                      std::move(setup.policy));
+  SnapshotManager manager(control.snapshot);
+
+  int resumed_from = 0;
+  if (control.resume && manager.enabled()) {
+    util::Result<int> resumed = manager.Resume(&trainer);
+    if (resumed.ok()) {
+      resumed_from = *resumed;
+      if (resumed_from > 0) {
+        FEDMIGR_LOG(kInfo) << "resumed " << setup.config.scheme_name
+                           << " from snapshot after epoch " << resumed_from;
+      }
+    }
+  }
+  if (control.resumed_from_epoch != nullptr) {
+    *control.resumed_from_epoch = resumed_from;
+  }
+
+  if (control.handle_signals) InstallInterruptHandlers();
+
+  if (manager.enabled() || control.handle_signals) {
+    trainer.SetEpochHook([&manager, &control](const fl::Trainer& t,
+                                              int epoch) {
+      const bool stop = control.handle_signals && InterruptRequested();
+      // On interrupt the cadence is overridden: the final state always gets
+      // flushed so the restart loses no completed work.
+      const util::Status saved =
+          stop ? manager.Save(t, epoch) : manager.MaybeSave(t, epoch);
+      if (!saved.ok()) {
+        FEDMIGR_LOG(kWarning) << "snapshot save failed: " << saved.ToString();
+      }
+      return !stop;
+    });
+  }
+  return trainer.Run();
+}
+
+}  // namespace fedmigr::core

@@ -24,6 +24,31 @@ void Client::SetProximalReference(const nn::Sequential& global) {
   proximal_reference_ = nn::FlattenParams(global);
 }
 
+void Client::SaveState(util::ByteWriter* writer) const {
+  writer->WriteI32(id_);
+  writer->WriteU64(indices_.size());
+  nn::WriteParams(writer, model_);
+  optimizer_.SaveState(writer);
+  util::SaveRngState(rng_, writer);
+  writer->WriteF32Vector(proximal_reference_);
+}
+
+util::Status Client::LoadState(util::ByteReader* reader) {
+  int32_t id = 0;
+  uint64_t samples = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&id));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&samples));
+  if (id != id_ || samples != indices_.size()) {
+    return util::Status::InvalidArgument(
+        "client fingerprint mismatch for client " + std::to_string(id_));
+  }
+  FEDMIGR_RETURN_IF_ERROR(nn::ReadParams(reader, &model_));
+  FEDMIGR_RETURN_IF_ERROR(optimizer_.LoadState(reader));
+  FEDMIGR_RETURN_IF_ERROR(util::LoadRngState(reader, &rng_));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF32Vector(&proximal_reference_));
+  return util::Status::Ok();
+}
+
 LocalUpdateResult Client::LocalUpdate(const LocalUpdateOptions& options) {
   LocalUpdateResult result;
   if (indices_.empty()) return result;

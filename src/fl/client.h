@@ -11,6 +11,7 @@
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace fedmigr::fl {
 
@@ -56,6 +57,12 @@ class Client {
 
   // Runs `options.epochs` passes of mini-batch SGD over the local data.
   LocalUpdateResult LocalUpdate(const LocalUpdateOptions& options);
+
+  // Snapshot state: model replica, SGD momentum, shuffling RNG, FedProx
+  // reference. The dataset slice is rebuilt from the workload seed, so only
+  // a fingerprint (id, sample count) is stored for validation.
+  void SaveState(util::ByteWriter* writer) const;
+  util::Status LoadState(util::ByteReader* reader);
 
  private:
   int id_;

@@ -22,6 +22,7 @@
 #include "net/topology.h"
 #include "opt/flmm.h"
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace fedmigr::fl {
 
@@ -75,6 +76,16 @@ class MigrationPolicy {
   virtual MigrationPlan Plan(const PolicyContext& ctx) = 0;
   virtual void Feedback(const PolicyFeedback& feedback) { (void)feedback; }
   virtual std::string name() const = 0;
+
+  // Run-snapshot hooks. Policies that carry mutable state across epochs
+  // (the DRL agent, its replay buffer) serialize it here so an interrupted
+  // run resumes bit-identically; stateless policies (which draw only from
+  // the trainer's RNG, snapshotted separately) keep the no-op default.
+  virtual void SaveState(util::ByteWriter* writer) const { (void)writer; }
+  virtual util::Status LoadState(util::ByteReader* reader) {
+    (void)reader;
+    return util::Status::Ok();
+  }
 };
 
 // D[i][j] = EMD between the model hosted at i and the data at j — the

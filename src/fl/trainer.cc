@@ -341,13 +341,11 @@ Evaluation Trainer::VirtualEvaluation() {
 }
 
 RunResult Trainer::Run() {
-  RunResult result;
-  result.scheme = config_.scheme_name;
-  double last_accuracy = 0.0;
-  double last_test_loss = 0.0;
-  double previous_loss = -1.0;
+  result_.scheme = config_.scheme_name;
+  result_.interrupted = false;
 
-  for (int epoch = 1; epoch <= config_.max_epochs; ++epoch) {
+  for (int epoch = progress_.next_epoch;
+       !progress_.done && epoch <= config_.max_epochs; ++epoch) {
     EpochRecord record;
     record.epoch = epoch;
 
@@ -369,34 +367,36 @@ RunResult Trainer::Run() {
     if (aggregate_now) {
       const Evaluation eval = AggregationPhase(evaluate_now);
       if (evaluate_now) {
-        last_accuracy = eval.accuracy;
-        last_test_loss = eval.loss;
+        progress_.last_accuracy = eval.accuracy;
+        progress_.last_test_loss = eval.loss;
       }
       record.aggregated = true;
     } else {
       record.migrations = MigrationPhase(epoch, record.train_loss);
       if (evaluate_now) {
         const Evaluation eval = VirtualEvaluation();
-        last_accuracy = eval.accuracy;
-        last_test_loss = eval.loss;
+        progress_.last_accuracy = eval.accuracy;
+        progress_.last_test_loss = eval.loss;
       }
     }
 
-    record.test_accuracy = last_accuracy;
-    record.test_loss = last_test_loss;
+    record.test_accuracy = progress_.last_accuracy;
+    record.test_loss = progress_.last_test_loss;
     record.cumulative_time_s = budget_.time_used();
     record.cumulative_traffic_gb =
         static_cast<double>(traffic_.total_bytes()) / 1e9;
-    result.history.push_back(record);
+    result_.history.push_back(record);
 
-    result.best_accuracy = std::max(result.best_accuracy, last_accuracy);
-    result.epochs_run = epoch;
+    result_.best_accuracy =
+        std::max(result_.best_accuracy, progress_.last_accuracy);
+    result_.epochs_run = epoch;
 
     // Reward feedback for learned policies.
     PolicyFeedback feedback;
     feedback.epoch = epoch;
-    feedback.loss_before =
-        previous_loss < 0.0 ? record.train_loss : previous_loss;
+    feedback.loss_before = progress_.previous_loss < 0.0
+                               ? record.train_loss
+                               : progress_.previous_loss;
     feedback.loss_after = record.train_loss;
     const double cb = budget_.compute_budget();
     const double bb = budget_.bandwidth_budget();
@@ -405,15 +405,15 @@ RunResult Trainer::Run() {
     feedback.bandwidth_cost_fraction =
         std::isinf(bb) ? 0.0
                        : (budget_.bandwidth_used() - bandwidth_before) / bb;
-    previous_loss = record.train_loss;
+    progress_.previous_loss = record.train_loss;
 
     const bool target_hit = config_.target_accuracy > 0.0 &&
-                            last_accuracy >= config_.target_accuracy;
-    if (target_hit && !result.reached_target) {
-      result.reached_target = true;
-      result.epochs_to_target = epoch;
-      result.time_to_target_s = budget_.time_used();
-      result.traffic_to_target_gb =
+                            progress_.last_accuracy >= config_.target_accuracy;
+    if (target_hit && !result_.reached_target) {
+      result_.reached_target = true;
+      result_.epochs_to_target = epoch;
+      result_.time_to_target_s = budget_.time_used();
+      result_.traffic_to_target_gb =
           static_cast<double>(traffic_.total_bytes()) / 1e9;
     }
     const bool exhausted = budget_.Exhausted();
@@ -423,21 +423,236 @@ RunResult Trainer::Run() {
     feedback.success = done && !exhausted;
     policy_->Feedback(feedback);
 
+    // The epoch is now fully accounted for; a snapshot taken here (by the
+    // hook) resumes at next_epoch.
+    progress_.next_epoch = epoch + 1;
     if (target_hit || exhausted) {
-      result.budget_exhausted = exhausted;
+      result_.budget_exhausted = exhausted;
+      progress_.done = true;
+    } else if (epoch == config_.max_epochs) {
+      progress_.done = true;
+    }
+
+    if (epoch_hook_ && !epoch_hook_(*this, epoch) && !progress_.done) {
+      result_.interrupted = true;
       break;
     }
   }
 
-  result.final_accuracy = last_accuracy;
-  result.time_s = budget_.time_used();
-  result.compute_units = budget_.compute_used();
-  result.traffic_gb = static_cast<double>(traffic_.total_bytes()) / 1e9;
-  result.c2s_gb = traffic_.c2s_gb();
-  result.c2c_gb = traffic_.c2c_gb();
-  result.traffic = traffic_;
-  result.faults = faults_.counters();
-  return result;
+  result_.final_accuracy = progress_.last_accuracy;
+  result_.time_s = budget_.time_used();
+  result_.compute_units = budget_.compute_used();
+  result_.traffic_gb = static_cast<double>(traffic_.total_bytes()) / 1e9;
+  result_.c2s_gb = traffic_.c2s_gb();
+  result_.c2c_gb = traffic_.c2c_gb();
+  result_.traffic = traffic_;
+  result_.faults = faults_.counters();
+  return result_;
+}
+
+namespace {
+
+// Bumped whenever the trainer state layout changes.
+constexpr uint32_t kTrainerStateVersion = 1;
+
+void WriteEpochRecord(util::ByteWriter* writer, const EpochRecord& record) {
+  writer->WriteI32(record.epoch);
+  writer->WriteF64(record.train_loss);
+  writer->WriteF64(record.test_accuracy);
+  writer->WriteF64(record.test_loss);
+  writer->WriteF64(record.cumulative_time_s);
+  writer->WriteF64(record.cumulative_traffic_gb);
+  writer->WriteBool(record.aggregated);
+  writer->WriteI32(record.migrations);
+}
+
+util::Status ReadEpochRecord(util::ByteReader* reader, EpochRecord* record) {
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&record->epoch));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&record->train_loss));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&record->test_accuracy));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&record->test_loss));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&record->cumulative_time_s));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&record->cumulative_traffic_gb));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBool(&record->aggregated));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&record->migrations));
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+void Trainer::SaveState(util::ByteWriter* writer) const {
+  // Fingerprint: a snapshot may only be restored into a trainer built from
+  // the same workload and schedule.
+  writer->WriteU32(kTrainerStateVersion);
+  writer->WriteString(config_.scheme_name);
+  writer->WriteU32(static_cast<uint32_t>(num_clients()));
+  writer->WriteI64(model_params_);
+  writer->WriteU64(config_.seed);
+  writer->WriteI32(config_.agg_period);
+  writer->WriteI32(config_.max_epochs);
+
+  // Run progress and accumulated result.
+  writer->WriteI32(progress_.next_epoch);
+  writer->WriteF64(progress_.last_accuracy);
+  writer->WriteF64(progress_.last_test_loss);
+  writer->WriteF64(progress_.previous_loss);
+  writer->WriteBool(progress_.done);
+  writer->WriteF64(result_.best_accuracy);
+  writer->WriteI32(result_.epochs_run);
+  writer->WriteBool(result_.reached_target);
+  writer->WriteI32(result_.epochs_to_target);
+  writer->WriteF64(result_.time_to_target_s);
+  writer->WriteF64(result_.traffic_to_target_gb);
+  writer->WriteBool(result_.budget_exhausted);
+  writer->WriteU64(result_.history.size());
+  for (const EpochRecord& record : result_.history) {
+    WriteEpochRecord(writer, record);
+  }
+
+  // Simulation state.
+  util::SaveRngState(rng_, writer);
+  budget_.SaveState(writer);
+  traffic_.SaveState(writer);
+  faults_.SaveState(writer);
+  writer->WriteBoolVector(participating_);
+  writer->WriteBoolVector(available_);
+  writer->WriteU64(model_distributions_.size());
+  for (const auto& dist : model_distributions_) {
+    writer->WriteF64Vector(dist);
+  }
+  writer->WriteF64Vector(model_samples_);
+
+  // Models: server, then every client.
+  nn::WriteParams(writer, server_->global_model());
+  for (const auto& client : clients_) {
+    client->SaveState(writer);
+  }
+
+  // Policy state rides as a length-prefixed blob so the container framing
+  // survives even if a policy's stream is malformed.
+  util::ByteWriter policy_writer;
+  policy_->SaveState(&policy_writer);
+  writer->WriteBytes(policy_writer.bytes());
+}
+
+util::Status Trainer::LoadState(util::ByteReader* reader) {
+  uint32_t version = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&version));
+  if (version != kTrainerStateVersion) {
+    return util::Status::InvalidArgument("unsupported trainer state version");
+  }
+  std::string scheme;
+  uint32_t clients = 0;
+  int64_t params = 0;
+  uint64_t seed = 0;
+  int32_t agg_period = 0;
+  int32_t max_epochs = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadString(&scheme));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&clients));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&params));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&agg_period));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&max_epochs));
+  if (scheme != config_.scheme_name ||
+      clients != static_cast<uint32_t>(num_clients()) ||
+      params != model_params_ || seed != config_.seed ||
+      agg_period != config_.agg_period || max_epochs != config_.max_epochs) {
+    return util::Status::InvalidArgument(
+        "snapshot fingerprint does not match this trainer");
+  }
+
+  RunProgress progress;
+  RunResult result;
+  result.scheme = config_.scheme_name;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&progress.next_epoch));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&progress.last_accuracy));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&progress.last_test_loss));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&progress.previous_loss));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBool(&progress.done));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&result.best_accuracy));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&result.epochs_run));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBool(&result.reached_target));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&result.epochs_to_target));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&result.time_to_target_s));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&result.traffic_to_target_gb));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBool(&result.budget_exhausted));
+  if (progress.next_epoch < 1 || progress.next_epoch > config_.max_epochs + 1) {
+    return util::Status::InvalidArgument("snapshot epoch out of range");
+  }
+  uint64_t history_size = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&history_size));
+  if (history_size > static_cast<uint64_t>(config_.max_epochs)) {
+    return util::Status::InvalidArgument("snapshot history too long");
+  }
+  result.history.resize(static_cast<size_t>(history_size));
+  for (EpochRecord& record : result.history) {
+    FEDMIGR_RETURN_IF_ERROR(ReadEpochRecord(reader, &record));
+  }
+
+  // Parse the simulation state into stand-ins first; the trainer is only
+  // mutated once the whole stream (including every client and the policy)
+  // has validated, so a corrupt snapshot leaves it untouched.
+  util::Rng rng(0);
+  FEDMIGR_RETURN_IF_ERROR(util::LoadRngState(reader, &rng));
+  net::Budget budget = config_.budget;
+  FEDMIGR_RETURN_IF_ERROR(budget.LoadState(reader));
+  net::TrafficAccountant traffic;
+  FEDMIGR_RETURN_IF_ERROR(traffic.LoadState(reader));
+  net::FaultInjector faults(config_.fault);
+  FEDMIGR_RETURN_IF_ERROR(faults.LoadState(reader));
+  std::vector<bool> participating;
+  std::vector<bool> available;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBoolVector(&participating));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBoolVector(&available));
+  if (participating.size() != static_cast<size_t>(num_clients()) ||
+      available.size() != static_cast<size_t>(num_clients())) {
+    return util::Status::InvalidArgument(
+        "snapshot participation vectors sized wrong");
+  }
+  uint64_t dist_count = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&dist_count));
+  if (dist_count != static_cast<uint64_t>(num_clients())) {
+    return util::Status::InvalidArgument(
+        "snapshot distribution count mismatch");
+  }
+  std::vector<std::vector<double>> distributions(
+      static_cast<size_t>(dist_count));
+  for (auto& dist : distributions) {
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadF64Vector(&dist));
+  }
+  std::vector<double> samples;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64Vector(&samples));
+  if (samples.size() != static_cast<size_t>(num_clients())) {
+    return util::Status::InvalidArgument("snapshot sample count mismatch");
+  }
+
+  nn::Sequential global = server_->global_model();
+  FEDMIGR_RETURN_IF_ERROR(nn::ReadParams(reader, &global));
+
+  // Client and policy state cannot be staged without copying whole models,
+  // so they are validated structurally while loading; the guarantee that
+  // holds for the full trainer is therefore "no partial load on corrupt
+  // container" at the snapshot layer, where a CRC gate runs first.
+  for (auto& client : clients_) {
+    FEDMIGR_RETURN_IF_ERROR(client->LoadState(reader));
+  }
+  std::vector<uint8_t> policy_bytes;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBytes(&policy_bytes));
+  util::ByteReader policy_reader(policy_bytes);
+  FEDMIGR_RETURN_IF_ERROR(policy_->LoadState(&policy_reader));
+
+  progress_ = progress;
+  result_ = std::move(result);
+  rng_ = rng;
+  budget_ = budget;
+  traffic_ = std::move(traffic);
+  faults_ = std::move(faults);
+  participating_ = std::move(participating);
+  available_ = std::move(available);
+  model_distributions_ = std::move(distributions);
+  model_samples_ = std::move(samples);
+  server_->global_model() = std::move(global);
+  return util::Status::Ok();
 }
 
 }  // namespace fedmigr::fl

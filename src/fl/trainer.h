@@ -33,6 +33,7 @@
 #include "net/fault.h"
 #include "net/topology.h"
 #include "net/traffic.h"
+#include "util/serial.h"
 #include "util/thread_pool.h"
 
 namespace fedmigr::fl {
@@ -104,6 +105,10 @@ struct RunResult {
   double time_to_target_s = -1.0;
   double traffic_to_target_gb = -1.0;
   bool budget_exhausted = false;
+  // Set when the run was stopped early by the epoch hook (snapshot-and-exit,
+  // SIGINT, ...) rather than by a natural stop condition. A resumed run
+  // clears it and continues exactly where the interrupted one left off.
+  bool interrupted = false;
   // Full per-link accounting, for the Fig. 8 link-frequency analysis.
   net::TrafficAccountant traffic;
   // Fault-tolerance counters (attempts, retries, fallbacks, dropped
@@ -125,10 +130,34 @@ class Trainer {
           std::unique_ptr<MigrationPolicy> policy);
 
   // Runs the configured number of epochs (or until the target accuracy /
-  // budget stop) and returns the collected metrics.
+  // budget stop) and returns the collected metrics. Re-entrant: after
+  // LoadState (or an epoch-hook stop) a further Run() call continues from
+  // the first unfinished epoch and yields the same bytes an uninterrupted
+  // run would have produced.
   RunResult Run();
 
   int num_clients() const { return static_cast<int>(clients_.size()); }
+
+  // Called after each completed epoch (all bookkeeping and policy feedback
+  // done). Returning false stops the run gracefully: Run() returns with
+  // `interrupted` set and the trainer left in a state Run() can continue
+  // from. The snapshot subsystem uses this for cadence saves and SIGINT.
+  using EpochHook = std::function<bool(const Trainer&, int epoch)>;
+  void SetEpochHook(EpochHook hook) { epoch_hook_ = std::move(hook); }
+
+  // First epoch the next Run() call would execute (1-based; max_epochs + 1
+  // once the run is complete).
+  int next_epoch() const { return progress_.next_epoch; }
+  bool done() const { return progress_.done; }
+
+  // Serializes everything a bit-identical continuation needs: run progress,
+  // metric history, the server model, every client (model + optimizer +
+  // RNG), the policy (via MigrationPolicy::SaveState), and the budget /
+  // traffic / fault / RNG streams. LoadState validates a fingerprint
+  // (scheme, client count, parameter count, seed, schedule) and restores
+  // no state unless the whole blob parses.
+  void SaveState(util::ByteWriter* writer) const;
+  util::Status LoadState(util::ByteReader* reader);
 
  private:
   // One Local Updating phase across all clients; returns weighted mean loss
@@ -173,6 +202,19 @@ class Trainer {
   std::vector<bool> available_;
   void ResampleParticipants();
   void RollAvailability();
+
+  // Run-loop state promoted to members so a run can be snapshotted between
+  // epochs and continued bit-identically.
+  struct RunProgress {
+    int next_epoch = 1;
+    double last_accuracy = 0.0;
+    double last_test_loss = 0.0;
+    double previous_loss = -1.0;
+    bool done = false;
+  };
+  RunProgress progress_;
+  RunResult result_;
+  EpochHook epoch_hook_;
 };
 
 }  // namespace fedmigr::fl

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/serial.h"
+
 namespace fedmigr::net {
 
 class Budget {
@@ -46,6 +48,10 @@ class Budget {
   // budgets. Feeds the DRL state featurizer.
   double ComputeUsedFraction() const;
   double BandwidthUsedFraction() const;
+
+  // Consumed-amount snapshot state (the limits come from configuration).
+  void SaveState(util::ByteWriter* writer) const;
+  util::Status LoadState(util::ByteReader* reader);
 
  private:
   double compute_budget_ = std::numeric_limits<double>::infinity();

@@ -69,6 +69,45 @@ double FaultInjector::AttemptSeconds(int src, int dst, int64_t bytes,
   return seconds;
 }
 
+void FaultInjector::SaveState(util::ByteWriter* writer) const {
+  util::SaveRngState(rng_, writer);
+  writer->WriteI64(counters_.attempts);
+  writer->WriteI64(counters_.failures);
+  writer->WriteI64(counters_.retries);
+  writer->WriteI64(counters_.deadline_aborts);
+  writer->WriteI64(counters_.aborted_transfers);
+  writer->WriteI64(counters_.fallbacks);
+  writer->WriteI64(counters_.corrupted);
+  writer->WriteI64(counters_.corrupt_rejected);
+  writer->WriteI64(counters_.dropped_stragglers);
+  writer->WriteI64(counters_.crash_epochs);
+  writer->WriteI64(counters_.crashes);
+  writer->WriteI32Vector(down_epochs_);
+  writer->WriteBoolVector(straggler_);
+}
+
+util::Status FaultInjector::LoadState(util::ByteReader* reader) {
+  FEDMIGR_RETURN_IF_ERROR(util::LoadRngState(reader, &rng_));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.attempts));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.failures));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.retries));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.deadline_aborts));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.aborted_transfers));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.fallbacks));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.corrupted));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.corrupt_rejected));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.dropped_stragglers));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.crash_epochs));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.crashes));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32Vector(&down_epochs_));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBoolVector(&straggler_));
+  if (down_epochs_.size() != straggler_.size()) {
+    return util::Status::InvalidArgument(
+        "fault injector client vectors out of sync");
+  }
+  return util::Status::Ok();
+}
+
 TransferResult FaultInjector::Transfer(int src, int dst, int64_t bytes,
                                        const Topology& topology,
                                        TrafficAccountant* traffic) {

@@ -31,6 +31,7 @@
 #include "net/topology.h"
 #include "net/traffic.h"
 #include "util/rng.h"
+#include "util/serial.h"
 #include "util/status.h"
 
 namespace fedmigr::net {
@@ -127,6 +128,11 @@ class FaultInjector {
 
   const FaultCounters& counters() const { return counters_; }
   FaultCounters* mutable_counters() { return &counters_; }
+
+  // Full injector state (RNG stream, counters, outage/straggler rolls) so a
+  // resumed run replays the same fault trajectory bit-identically.
+  void SaveState(util::ByteWriter* writer) const;
+  util::Status LoadState(util::ByteReader* reader);
 
  private:
   double AttemptSeconds(int src, int dst, int64_t bytes,

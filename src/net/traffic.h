@@ -10,6 +10,8 @@
 #include <map>
 #include <utility>
 
+#include "util/serial.h"
+
 namespace fedmigr::net {
 
 class TrafficAccountant {
@@ -32,6 +34,11 @@ class TrafficAccountant {
   int64_t LinkBytes(int a, int b) const;
 
   void Reset();
+
+  // Full accounting state, including the per-link maps behind the Fig. 8
+  // analysis, for the run-snapshot subsystem.
+  void SaveState(util::ByteWriter* writer) const;
+  util::Status LoadState(util::ByteReader* reader);
 
  private:
   static std::pair<int, int> Key(int a, int b);

@@ -2,9 +2,35 @@
 
 #include <cmath>
 
+#include "nn/serialize.h"
 #include "util/logging.h"
 
 namespace fedmigr::nn {
+
+namespace {
+
+void WriteTensorList(util::ByteWriter* writer,
+                     const std::vector<Tensor>& tensors) {
+  writer->WriteU64(tensors.size());
+  for (const Tensor& t : tensors) WriteTensor(writer, t);
+}
+
+util::Status ReadTensorList(util::ByteReader* reader,
+                            std::vector<Tensor>* tensors) {
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&count));
+  if (count > reader->remaining()) {
+    return util::Status::InvalidArgument("tensor list length exceeds buffer");
+  }
+  std::vector<Tensor> result(static_cast<size_t>(count));
+  for (auto& t : result) {
+    FEDMIGR_RETURN_IF_ERROR(ReadTensor(reader, &t));
+  }
+  *tensors = std::move(result);
+  return util::Status::Ok();
+}
+
+}  // namespace
 
 Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
     : learning_rate_(learning_rate),
@@ -41,6 +67,14 @@ void Sgd::Step(Sequential* model) {
   }
 }
 
+void Sgd::SaveState(util::ByteWriter* writer) const {
+  WriteTensorList(writer, velocity_);
+}
+
+util::Status Sgd::LoadState(util::ByteReader* reader) {
+  return ReadTensorList(reader, &velocity_);
+}
+
 Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
     : learning_rate_(learning_rate),
       beta1_(beta1),
@@ -75,6 +109,28 @@ void Adam::Step(Sequential* model) {
       p[j] -= step * m[j] / static_cast<float>(std::sqrt(vhat) + epsilon_);
     }
   }
+}
+
+void Adam::SaveState(util::ByteWriter* writer) const {
+  writer->WriteI64(t_);
+  WriteTensorList(writer, m_);
+  WriteTensorList(writer, v_);
+}
+
+util::Status Adam::LoadState(util::ByteReader* reader) {
+  int64_t t = 0;
+  std::vector<Tensor> m;
+  std::vector<Tensor> v;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&t));
+  FEDMIGR_RETURN_IF_ERROR(ReadTensorList(reader, &m));
+  FEDMIGR_RETURN_IF_ERROR(ReadTensorList(reader, &v));
+  if (t < 0 || m.size() != v.size()) {
+    return util::Status::InvalidArgument("inconsistent Adam state");
+  }
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return util::Status::Ok();
 }
 
 }  // namespace fedmigr::nn

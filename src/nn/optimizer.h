@@ -8,6 +8,7 @@
 
 #include "nn/sequential.h"
 #include "nn/tensor.h"
+#include "util/serial.h"
 
 namespace fedmigr::nn {
 
@@ -18,6 +19,11 @@ class Optimizer {
   // Applies one update using the model's current gradients, then leaves the
   // gradients untouched (callers ZeroGrads() between mini-batches).
   virtual void Step(Sequential* model) = 0;
+
+  // Full internal state (momentum/moment buffers, step counters) for the
+  // run-snapshot subsystem; restoring resumes updates bit-identically.
+  virtual void SaveState(util::ByteWriter* writer) const = 0;
+  virtual util::Status LoadState(util::ByteReader* reader) = 0;
 };
 
 class Sgd : public Optimizer {
@@ -26,6 +32,8 @@ class Sgd : public Optimizer {
                double weight_decay = 0.0);
 
   void Step(Sequential* model) override;
+  void SaveState(util::ByteWriter* writer) const override;
+  util::Status LoadState(util::ByteReader* reader) override;
 
   void set_learning_rate(double lr) { learning_rate_ = lr; }
   double learning_rate() const { return learning_rate_; }
@@ -45,6 +53,8 @@ class Adam : public Optimizer {
                 double epsilon = 1e-8);
 
   void Step(Sequential* model) override;
+  void SaveState(util::ByteWriter* writer) const override;
+  util::Status LoadState(util::ByteReader* reader) override;
 
  private:
   double learning_rate_;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/sequential.h"
+#include "util/serial.h"
 #include "util/status.h"
 
 namespace fedmigr::nn {
@@ -37,11 +38,21 @@ std::vector<uint8_t> SerializeParams(const Sequential& model);
 util::Status DeserializeParams(const std::vector<uint8_t>& bytes,
                                Sequential* model);
 
-// Checkpointing: writes/reads the byte encoding above to a file. Loading
-// requires a model of the same architecture (same parameter count).
+// Checkpointing: writes/reads the byte encoding above to a file. Saving is
+// atomic (tmp file + fsync + rename), so a crash mid-write can never leave
+// a torn file at the published path. Loading requires a model of the same
+// architecture (same parameter count).
 util::Status SaveCheckpoint(const Sequential& model,
                             const std::string& path);
 util::Status LoadCheckpoint(const std::string& path, Sequential* model);
+
+// Byte-stream helpers for snapshot serialization (core/snapshot).
+void WriteTensor(util::ByteWriter* writer, const Tensor& tensor);
+util::Status ReadTensor(util::ByteReader* reader, Tensor* tensor);
+// Length-prefixed flattened parameters; ReadParams requires a model of the
+// same parameter count.
+void WriteParams(util::ByteWriter* writer, const Sequential& model);
+util::Status ReadParams(util::ByteReader* reader, Sequential* model);
 
 }  // namespace fedmigr::nn
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/serialize.h"
 #include "nn/zoo.h"
 #include "util/logging.h"
 
@@ -211,6 +212,34 @@ TrainStats DdpgAgent::Train(PrioritizedReplayBuffer* buffer, util::Rng* rng) {
   stats.mean_td_error = td_sum / n;
   stats.mean_q = q_sum / n;
   return stats;
+}
+
+void DdpgAgent::SaveState(util::ByteWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(config_.hidden));
+  nn::WriteParams(writer, actor_);
+  nn::WriteParams(writer, critic_);
+  nn::WriteParams(writer, target_actor_);
+  nn::WriteParams(writer, target_critic_);
+  actor_optimizer_->SaveState(writer);
+  critic_optimizer_->SaveState(writer);
+}
+
+util::Status DdpgAgent::LoadState(util::ByteReader* reader) {
+  uint32_t hidden = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&hidden));
+  if (hidden != static_cast<uint32_t>(config_.hidden)) {
+    return util::Status::InvalidArgument(
+        "agent architecture mismatch: snapshot hidden=" +
+        std::to_string(hidden) + ", agent hidden=" +
+        std::to_string(config_.hidden));
+  }
+  FEDMIGR_RETURN_IF_ERROR(nn::ReadParams(reader, &actor_));
+  FEDMIGR_RETURN_IF_ERROR(nn::ReadParams(reader, &critic_));
+  FEDMIGR_RETURN_IF_ERROR(nn::ReadParams(reader, &target_actor_));
+  FEDMIGR_RETURN_IF_ERROR(nn::ReadParams(reader, &target_critic_));
+  FEDMIGR_RETURN_IF_ERROR(actor_optimizer_->LoadState(reader));
+  FEDMIGR_RETURN_IF_ERROR(critic_optimizer_->LoadState(reader));
+  return util::Status::Ok();
 }
 
 double StepReward(double loss_before, double loss_after,

@@ -70,6 +70,12 @@ class DdpgAgent {
   // `config.batch_size` transitions.
   TrainStats Train(PrioritizedReplayBuffer* buffer, util::Rng* rng);
 
+  // Learning state: actor/critic/target parameters and both Adam moment
+  // sets. Restoring into an agent built with the same architecture resumes
+  // training bit-identically.
+  void SaveState(util::ByteWriter* writer) const;
+  util::Status LoadState(util::ByteReader* reader);
+
   const AgentConfig& config() const { return config_; }
 
  private:

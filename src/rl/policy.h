@@ -44,6 +44,11 @@ class DrlMigrationPolicy : public fl::MigrationPolicy {
   void Feedback(const fl::PolicyFeedback& feedback) override;
   std::string name() const override { return "fedmigr-drl"; }
 
+  // Snapshot hooks: agent networks + Adam moments, the prioritized replay
+  // buffer, the policy RNG, and the in-flight decision queues.
+  void SaveState(util::ByteWriter* writer) const override;
+  util::Status LoadState(util::ByteReader* reader) override;
+
   const DdpgAgent& agent() const { return *agent_; }
 
  private:

@@ -7,6 +7,55 @@
 
 namespace fedmigr::rl {
 
+namespace {
+
+void WriteRows(util::ByteWriter* writer,
+               const std::vector<std::vector<float>>& rows) {
+  writer->WriteU64(rows.size());
+  for (const auto& row : rows) writer->WriteF32Vector(row);
+}
+
+util::Status ReadRows(util::ByteReader* reader,
+                      std::vector<std::vector<float>>* rows) {
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&count));
+  if (count > reader->remaining()) {
+    return util::Status::InvalidArgument("row count exceeds buffer");
+  }
+  rows->assign(static_cast<size_t>(count), {});
+  for (auto& row : *rows) {
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadF32Vector(&row));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+void WriteTransition(util::ByteWriter* writer, const Transition& transition) {
+  WriteRows(writer, transition.candidates);
+  writer->WriteI32(transition.action_index);
+  writer->WriteF32(transition.reward);
+  writer->WriteBool(transition.done);
+  WriteRows(writer, transition.next_candidates);
+}
+
+util::Status ReadTransition(util::ByteReader* reader,
+                            Transition* transition) {
+  Transition result;
+  FEDMIGR_RETURN_IF_ERROR(ReadRows(reader, &result.candidates));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&result.action_index));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF32(&result.reward));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBool(&result.done));
+  FEDMIGR_RETURN_IF_ERROR(ReadRows(reader, &result.next_candidates));
+  if (result.action_index < 0 ||
+      (!result.candidates.empty() &&
+       result.action_index >= static_cast<int>(result.candidates.size()))) {
+    return util::Status::InvalidArgument("transition action out of range");
+  }
+  *transition = std::move(result);
+  return util::Status::Ok();
+}
+
 SumTree::SumTree(size_t capacity) : capacity_(capacity) {
   FEDMIGR_CHECK_GT(capacity, 0u);
   base_ = 1;
@@ -37,7 +86,13 @@ size_t SumTree::Find(double mass) const {
   size_t node = 1;
   while (node < base_) {
     const size_t left = 2 * node;
-    if (mass < nodes_[left]) {
+    // Descend left when the mass falls inside the left subtree, and also
+    // when the right subtree carries no mass: with `mass >= Total()` (a
+    // floating-point edge the caller can hit when scaling a [0, 1) draw by
+    // Total()) or a zero-priority padding tail, the plain descent would
+    // walk into an empty leaf; steering away from zero-sum subtrees lands
+    // on the last leaf that actually carries priority instead.
+    if (mass < nodes_[left] || !(nodes_[left + 1] > 0.0)) {
       node = left;
     } else {
       mass -= nodes_[left];
@@ -89,6 +144,60 @@ std::vector<SampledTransition> PrioritizedReplayBuffer::Sample(
     for (auto& sample : batch) sample.weight /= max_weight;
   }
   return batch;
+}
+
+void PrioritizedReplayBuffer::SaveState(util::ByteWriter* writer) const {
+  writer->WriteU64(capacity_);
+  writer->WriteU64(next_);
+  writer->WriteU64(size_);
+  writer->WriteF64(max_priority_);
+  for (size_t i = 0; i < size_; ++i) {
+    WriteTransition(writer, storage_[i]);
+  }
+  // Tree leaves carry the ξ-exponentiated priorities; storing them verbatim
+  // avoids re-deriving (and re-rounding) them on load.
+  for (size_t i = 0; i < size_; ++i) {
+    writer->WriteF64(tree_.Get(i));
+  }
+}
+
+util::Status PrioritizedReplayBuffer::LoadState(util::ByteReader* reader) {
+  uint64_t capacity = 0;
+  uint64_t next = 0;
+  uint64_t size = 0;
+  double max_priority = 0.0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&capacity));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&next));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&size));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&max_priority));
+  if (capacity != capacity_) {
+    return util::Status::InvalidArgument(
+        "replay buffer capacity mismatch: snapshot has " +
+        std::to_string(capacity) + ", buffer has " +
+        std::to_string(capacity_));
+  }
+  if (size > capacity || next >= capacity ||
+      (size < capacity && next != size)) {
+    return util::Status::InvalidArgument("inconsistent replay buffer state");
+  }
+  std::vector<Transition> storage(capacity_);
+  for (size_t i = 0; i < size; ++i) {
+    FEDMIGR_RETURN_IF_ERROR(ReadTransition(reader, &storage[i]));
+  }
+  std::vector<double> leaves(static_cast<size_t>(size), 0.0);
+  for (size_t i = 0; i < size; ++i) {
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&leaves[i]));
+    if (!(leaves[i] >= 0.0)) {
+      return util::Status::InvalidArgument("negative replay priority");
+    }
+  }
+  storage_ = std::move(storage);
+  next_ = next;
+  size_ = size;
+  max_priority_ = max_priority;
+  tree_ = SumTree(capacity_);
+  for (size_t i = 0; i < size_; ++i) tree_.Set(i, leaves[i]);
+  return util::Status::Ok();
 }
 
 void PrioritizedReplayBuffer::UpdatePriority(size_t index, double priority) {

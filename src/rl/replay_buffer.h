@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace fedmigr::rl {
 
@@ -26,6 +27,11 @@ struct Transition {
   bool done = false;
   std::vector<std::vector<float>> next_candidates;  // K x F, empty if done
 };
+
+// Snapshot serialization for one transition (also used by the DRL policy
+// for its in-flight decision queues).
+void WriteTransition(util::ByteWriter* writer, const Transition& transition);
+util::Status ReadTransition(util::ByteReader* reader, Transition* transition);
 
 // Binary sum-tree over priorities for O(log n) sampling and updates.
 class SumTree {
@@ -76,6 +82,12 @@ class PrioritizedReplayBuffer {
   size_t size() const { return size_; }
   size_t capacity() const { return capacity_; }
   bool empty() const { return size_ == 0; }
+
+  // Full buffer state — stored transitions, write cursor, and the sum-tree
+  // priorities — so a resumed run replays (and re-prioritizes) identically.
+  // LoadState fails if the serialized capacity does not match this buffer's.
+  void SaveState(util::ByteWriter* writer) const;
+  util::Status LoadState(util::ByteReader* reader);
 
  private:
   size_t capacity_;

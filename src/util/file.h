@@ -1,0 +1,41 @@
+// Durable file I/O for checkpoints and run snapshots.
+//
+// `AtomicWriteFile` is the crash-safety primitive: the payload is written
+// to `<path>.tmp`, fsync'd, and renamed over the target, so a crash at any
+// instant leaves either the old file or the new one at `path` — never a
+// torn mixture. The containing directory is fsync'd after the rename so
+// the publish survives a power loss too.
+
+#ifndef FEDMIGR_UTIL_FILE_H_
+#define FEDMIGR_UTIL_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedmigr::util {
+
+// Atomically replaces `path` with `data` (tmp file + fsync + rename).
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& data);
+
+// Reads an entire file into memory.
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+// Removes a file; missing files are not an error.
+Status RemoveFile(const std::string& path);
+
+// Creates a directory (and parents); an existing directory is not an error.
+Status MakeDirectories(const std::string& path);
+
+// Names of the regular files directly inside `dir` (not full paths),
+// unsorted. Missing or unreadable directories yield an error.
+Result<std::vector<std::string>> ListDirectory(const std::string& dir);
+
+}  // namespace fedmigr::util
+
+#endif  // FEDMIGR_UTIL_FILE_H_

@@ -27,6 +27,20 @@ Rng::Rng(uint64_t seed) {
   for (auto& word : state_) word = SplitMix64(sm);
 }
 
+RngState Rng::State() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::Restore(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;
@@ -93,6 +107,24 @@ int Rng::Categorical(const std::vector<double>& weights) {
     if (target < 0.0) return static_cast<int>(i);
   }
   return static_cast<int>(weights.size()) - 1;
+}
+
+void SaveRngState(const Rng& rng, ByteWriter* writer) {
+  const RngState state = rng.State();
+  for (uint64_t word : state.words) writer->WriteU64(word);
+  writer->WriteBool(state.has_cached_normal);
+  writer->WriteF64(state.cached_normal);
+}
+
+Status LoadRngState(ByteReader* reader, Rng* rng) {
+  RngState state;
+  for (auto& word : state.words) {
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&word));
+  }
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBool(&state.has_cached_normal));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&state.cached_normal));
+  rng->Restore(state);
+  return Status::Ok();
 }
 
 std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {

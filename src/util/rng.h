@@ -11,13 +11,28 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serial.h"
+
 namespace fedmigr::util {
+
+// Full generator state: the four xoshiro256** words plus the Box-Muller
+// spare. Restoring it resumes the stream bit-identically — including the
+// next Normal() draw — which the run-snapshot subsystem relies on.
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
 
 // xoshiro256** engine with convenience distributions. Copyable: copying
 // forks the stream (both copies produce the same subsequent values).
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // State export/import for durable snapshots.
+  RngState State() const;
+  void Restore(const RngState& state);
 
   // Raw 64 random bits.
   uint64_t Next();
@@ -61,6 +76,10 @@ class Rng {
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };
+
+// Byte-stream helpers for snapshot serialization.
+void SaveRngState(const Rng& rng, ByteWriter* writer);
+Status LoadRngState(ByteReader* reader, Rng* rng);
 
 }  // namespace fedmigr::util
 

@@ -1,0 +1,116 @@
+#include "util/serial.h"
+
+namespace fedmigr::util {
+
+void ByteWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  Append(s.data(), s.size());
+}
+
+void ByteWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
+  WriteU64(bytes.size());
+  Append(bytes.data(), bytes.size());
+}
+
+void ByteWriter::WriteF32Vector(const std::vector<float>& values) {
+  WriteU64(values.size());
+  Append(values.data(), values.size() * sizeof(float));
+}
+
+void ByteWriter::WriteF64Vector(const std::vector<double>& values) {
+  WriteU64(values.size());
+  Append(values.data(), values.size() * sizeof(double));
+}
+
+void ByteWriter::WriteI32Vector(const std::vector<int>& values) {
+  WriteU64(values.size());
+  Append(values.data(), values.size() * sizeof(int));
+}
+
+void ByteWriter::WriteBoolVector(const std::vector<bool>& values) {
+  WriteU64(values.size());
+  for (bool v : values) WriteU8(v ? 1 : 0);
+}
+
+Status ByteReader::ReadBool(bool* value) {
+  uint8_t raw = 0;
+  FEDMIGR_RETURN_IF_ERROR(ReadU8(&raw));
+  if (raw > 1) {
+    return Status::InvalidArgument("malformed bool byte");
+  }
+  *value = raw != 0;
+  return Status::Ok();
+}
+
+Status ByteReader::ReadCount(size_t element_size, uint64_t* count) {
+  FEDMIGR_RETURN_IF_ERROR(ReadU64(count));
+  if (element_size > 0 && *count > remaining() / element_size) {
+    return Status::InvalidArgument("sequence length exceeds buffer");
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::ReadString(std::string* s) {
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(ReadCount(1, &count));
+  s->clear();
+  if (count == 0) return Status::Ok();  // data_ may be null on empty input
+  s->assign(reinterpret_cast<const char*>(data_ + offset_),
+            static_cast<size_t>(count));
+  offset_ += static_cast<size_t>(count);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadBytes(std::vector<uint8_t>* bytes) {
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(ReadCount(1, &count));
+  bytes->clear();
+  if (count == 0) return Status::Ok();
+  bytes->assign(data_ + offset_, data_ + offset_ + count);
+  offset_ += static_cast<size_t>(count);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadF32Vector(std::vector<float>* values) {
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(ReadCount(sizeof(float), &count));
+  values->resize(static_cast<size_t>(count));
+  if (count == 0) return Status::Ok();
+  std::memcpy(values->data(), data_ + offset_, count * sizeof(float));
+  offset_ += static_cast<size_t>(count) * sizeof(float);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadF64Vector(std::vector<double>* values) {
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(ReadCount(sizeof(double), &count));
+  values->resize(static_cast<size_t>(count));
+  if (count == 0) return Status::Ok();
+  std::memcpy(values->data(), data_ + offset_, count * sizeof(double));
+  offset_ += static_cast<size_t>(count) * sizeof(double);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadI32Vector(std::vector<int>* values) {
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(ReadCount(sizeof(int), &count));
+  values->resize(static_cast<size_t>(count));
+  if (count == 0) return Status::Ok();
+  std::memcpy(values->data(), data_ + offset_, count * sizeof(int));
+  offset_ += static_cast<size_t>(count) * sizeof(int);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadBoolVector(std::vector<bool>* values) {
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(ReadCount(1, &count));
+  values->resize(static_cast<size_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    bool v = false;
+    FEDMIGR_RETURN_IF_ERROR(ReadBool(&v));
+    (*values)[i] = v;
+  }
+  return Status::Ok();
+}
+
+}  // namespace fedmigr::util

@@ -1,0 +1,104 @@
+// Bounds-checked binary (de)serialization primitives.
+//
+// The run-snapshot subsystem (core/snapshot) serializes state from every
+// layer — models, optimizer moments, RNG streams, replay buffers, fault
+// state — into one little-endian byte stream. `ByteWriter` appends
+// primitives; `ByteReader` reads them back with full bounds checking,
+// returning `Status` errors (never crashing) on truncated or malformed
+// input, so corrupted snapshots degrade into clean load failures.
+
+#ifndef FEDMIGR_UTIL_SERIAL_H_
+#define FEDMIGR_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedmigr::util {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t value) { Append(&value, sizeof(value)); }
+  void WriteU32(uint32_t value) { Append(&value, sizeof(value)); }
+  void WriteU64(uint64_t value) { Append(&value, sizeof(value)); }
+  void WriteI32(int32_t value) { Append(&value, sizeof(value)); }
+  void WriteI64(int64_t value) { Append(&value, sizeof(value)); }
+  void WriteF32(float value) { Append(&value, sizeof(value)); }
+  void WriteF64(double value) { Append(&value, sizeof(value)); }
+  void WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+
+  // Length-prefixed (u64 count) sequences.
+  void WriteString(const std::string& s);
+  void WriteBytes(const std::vector<uint8_t>& bytes);
+  void WriteF32Vector(const std::vector<float>& values);
+  void WriteF64Vector(const std::vector<double>& values);
+  void WriteI32Vector(const std::vector<int>& values);
+  void WriteBoolVector(const std::vector<bool>& values);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  void Append(const void* data, size_t size) {
+    if (size == 0) return;  // empty vectors have a null data()
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+// Non-owning view over a byte buffer; the buffer must outlive the reader.
+// Every Read* checks the remaining length first and fails with
+// kInvalidArgument on truncation, leaving the cursor untouched.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  Status ReadU8(uint8_t* value) { return ReadRaw(value, sizeof(*value)); }
+  Status ReadU32(uint32_t* value) { return ReadRaw(value, sizeof(*value)); }
+  Status ReadU64(uint64_t* value) { return ReadRaw(value, sizeof(*value)); }
+  Status ReadI32(int32_t* value) { return ReadRaw(value, sizeof(*value)); }
+  Status ReadI64(int64_t* value) { return ReadRaw(value, sizeof(*value)); }
+  Status ReadF32(float* value) { return ReadRaw(value, sizeof(*value)); }
+  Status ReadF64(double* value) { return ReadRaw(value, sizeof(*value)); }
+  Status ReadBool(bool* value);
+
+  Status ReadString(std::string* s);
+  Status ReadBytes(std::vector<uint8_t>* bytes);
+  Status ReadF32Vector(std::vector<float>* values);
+  Status ReadF64Vector(std::vector<double>* values);
+  Status ReadI32Vector(std::vector<int>* values);
+  Status ReadBoolVector(std::vector<bool>* values);
+
+  size_t remaining() const { return size_ - offset_; }
+  bool AtEnd() const { return offset_ == size_; }
+
+ private:
+  Status ReadRaw(void* out, size_t size) {
+    if (remaining() < size) {
+      return Status::InvalidArgument("byte stream truncated");
+    }
+    std::memcpy(out, data_ + offset_, size);
+    offset_ += size;
+    return Status::Ok();
+  }
+  // Validates a u64 element count against the bytes actually left.
+  Status ReadCount(size_t element_size, uint64_t* count);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+}  // namespace fedmigr::util
+
+#endif  // FEDMIGR_UTIL_SERIAL_H_

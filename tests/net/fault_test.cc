@@ -199,5 +199,76 @@ TEST(FaultInjectorTest, DeterministicAcrossInstances) {
   EXPECT_EQ(a.counters().failures, b.counters().failures);
 }
 
+TEST(FaultInjectorStateTest, SaveLoadContinuesIdenticalTrajectory) {
+  const Topology topology = MakeC10SimTopology();
+  FaultConfig config;
+  config.link_failure_prob = 0.25;
+  config.corruption_prob = 0.1;
+  config.bandwidth_jitter = 0.3;
+  config.crash_prob = 0.1;
+  config.straggler_prob = 0.2;
+  config.seed = 31;
+
+  // Drive one injector through a mixed workload, snapshot it mid-stream.
+  FaultInjector reference(config);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    reference.BeginEpoch(10);
+    for (int i = 0; i < 6; ++i) {
+      reference.Transfer(i, (i + 3) % 10, 5000, topology, nullptr);
+    }
+  }
+  util::ByteWriter writer;
+  reference.SaveState(&writer);
+  FaultInjector restored(config);
+  util::ByteReader reader(writer.bytes());
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ(restored.counters().attempts, reference.counters().attempts);
+  EXPECT_EQ(restored.counters().failures, reference.counters().failures);
+  EXPECT_EQ(restored.counters().crashes, reference.counters().crashes);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(restored.IsCrashed(i), reference.IsCrashed(i));
+    EXPECT_EQ(restored.SlowdownFactor(i), reference.SlowdownFactor(i));
+  }
+  // Both continue producing the exact same fault trajectory.
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    reference.BeginEpoch(10);
+    restored.BeginEpoch(10);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_EQ(restored.IsCrashed(i), reference.IsCrashed(i));
+      ASSERT_EQ(restored.SlowdownFactor(i), reference.SlowdownFactor(i));
+    }
+    for (int i = 0; i < 6; ++i) {
+      const TransferResult ra =
+          reference.Transfer(i, (i + 3) % 10, 5000, topology, nullptr);
+      const TransferResult rb =
+          restored.Transfer(i, (i + 3) % 10, 5000, topology, nullptr);
+      ASSERT_EQ(ra.status.ok(), rb.status.ok());
+      ASSERT_EQ(ra.seconds, rb.seconds);
+      ASSERT_EQ(ra.bytes, rb.bytes);
+      ASSERT_EQ(ra.attempts, rb.attempts);
+      ASSERT_EQ(ra.corrupted, rb.corrupted);
+    }
+  }
+  EXPECT_EQ(restored.counters().attempts, reference.counters().attempts);
+  EXPECT_EQ(restored.counters().corrupted, reference.counters().corrupted);
+}
+
+TEST(FaultInjectorStateTest, TruncatedStateRejected) {
+  FaultConfig config;
+  config.crash_prob = 0.5;
+  config.seed = 7;
+  FaultInjector injector(config);
+  injector.BeginEpoch(4);
+  util::ByteWriter writer;
+  injector.SaveState(&writer);
+  for (size_t cut = 0; cut < writer.size(); cut += 3) {
+    FaultInjector victim(config);
+    util::ByteReader reader(writer.bytes().data(), cut);
+    EXPECT_FALSE(victim.LoadState(&reader).ok()) << "cut " << cut;
+  }
+}
+
 }  // namespace
 }  // namespace fedmigr::net

@@ -190,6 +190,144 @@ TEST(SerializeTest, LoadTruncatedCheckpointFails) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, SaveCheckpointLeavesNoTempFile) {
+  const std::string path = ::testing::TempDir() + "/fedmigr_atomic.bin";
+  Sequential a = SmallModel(30);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveCheckpointIntoMissingDirectoryFails) {
+  Sequential a = SmallModel(31);
+  EXPECT_FALSE(SaveCheckpoint(a, "/nonexistent/dir/model.bin").ok());
+}
+
+TEST(SerializeTest, SaveCheckpointOverwritesWholeFile) {
+  // An interrupted naive overwrite could leave a long stale tail; the
+  // atomic rename replaces the inode, so the new (shorter) payload must
+  // load cleanly after overwriting a longer one.
+  const std::string path = ::testing::TempDir() + "/fedmigr_overwrite.bin";
+  util::Rng rng(32);
+  Sequential big;
+  big.Add(std::make_unique<Dense>(20, 20, &rng));
+  ASSERT_TRUE(SaveCheckpoint(big, path).ok());
+  Sequential small = SmallModel(33);
+  ASSERT_TRUE(SaveCheckpoint(small, path).ok());
+  Sequential loaded = SmallModel(34);
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded).ok());
+  EXPECT_EQ(Sequential::ParamDistance(small, loaded), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CheckpointBitFlipSweepNeverLoadsSilently) {
+  // Flip one bit at a spread of positions across the file; every corrupted
+  // variant must be rejected (frame checks or CRC), never absorbed.
+  const std::string path = ::testing::TempDir() + "/fedmigr_flip.bin";
+  Sequential a = SmallModel(35);
+  const auto bytes = SerializeParams(a);
+  for (size_t pos = 0; pos < bytes.size(); pos += 7) {
+    auto corrupt = bytes;
+    corrupt[pos] ^= 0x10;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(corrupt.data()),
+                static_cast<std::streamsize>(corrupt.size()));
+    }
+    Sequential victim = SmallModel(36);
+    EXPECT_FALSE(LoadCheckpoint(path, &victim).ok()) << "flip at " << pos;
+    Sequential pristine = SmallModel(36);
+    EXPECT_EQ(Sequential::ParamDistance(victim, pristine), 0.0)
+        << "partial load at " << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, WriteReadTensorRoundTrip) {
+  Tensor t({2, 3});
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(i) * 0.5f - 1.0f;
+  }
+  util::ByteWriter writer;
+  WriteTensor(&writer, t);
+  util::ByteReader reader(writer.bytes());
+  Tensor out;
+  ASSERT_TRUE(ReadTensor(&reader, &out).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  ASSERT_EQ(out.shape(), t.shape());
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(out[i], t[i]);
+}
+
+TEST(SerializeTest, WriteReadDefaultTensorRoundTrip) {
+  util::ByteWriter writer;
+  WriteTensor(&writer, Tensor());
+  util::ByteReader reader(writer.bytes());
+  Tensor out({4});
+  ASSERT_TRUE(ReadTensor(&reader, &out).ok());
+  EXPECT_TRUE(out.shape().empty());
+  EXPECT_EQ(out.size(), 0);
+}
+
+TEST(SerializeTest, ReadTensorSurvivesTruncationFuzz) {
+  Tensor t({3, 2, 2});
+  util::ByteWriter writer;
+  WriteTensor(&writer, t);
+  const std::vector<uint8_t>& full = writer.bytes();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    util::ByteReader reader(full.data(), cut);
+    Tensor out;
+    EXPECT_FALSE(ReadTensor(&reader, &out).ok()) << "cut " << cut;
+  }
+}
+
+TEST(SerializeTest, ReadTensorSurvivesBitFlipFuzz) {
+  // Bit flips in the shape/count header can encode huge or negative
+  // element counts; every variant must produce an error or a consistent
+  // tensor — never a crash or over-allocation.
+  Tensor t({2, 2});
+  util::ByteWriter writer;
+  WriteTensor(&writer, t);
+  const std::vector<uint8_t> full = writer.bytes();
+  for (size_t pos = 0; pos < full.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupt = full;
+      corrupt[pos] ^= static_cast<uint8_t>(1u << bit);
+      util::ByteReader reader(corrupt);
+      Tensor out;
+      const util::Status status = ReadTensor(&reader, &out);
+      if (status.ok()) {
+        // Accepted streams must at least be self-consistent.
+        int64_t elements = out.shape().empty() ? 0 : 1;
+        for (int d : out.shape()) elements *= d;
+        EXPECT_EQ(out.size(), elements);
+      }
+    }
+  }
+}
+
+TEST(SerializeTest, WriteReadParamsRoundTrip) {
+  Sequential a = SmallModel(37);
+  Sequential b = SmallModel(38);
+  util::ByteWriter writer;
+  WriteParams(&writer, a);
+  util::ByteReader reader(writer.bytes());
+  ASSERT_TRUE(ReadParams(&reader, &b).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(Sequential::ParamDistance(a, b), 0.0);
+}
+
+TEST(SerializeTest, ReadParamsRejectsWrongArchitecture) {
+  Sequential a = SmallModel(39);
+  util::ByteWriter writer;
+  WriteParams(&writer, a);
+  util::Rng rng(40);
+  Sequential other;
+  other.Add(std::make_unique<Dense>(9, 9, &rng));
+  util::ByteReader reader(writer.bytes());
+  EXPECT_FALSE(ReadParams(&reader, &other).ok());
+}
+
 TEST(SerializeTest, ZooModelsRoundTrip) {
   util::Rng rng(12);
   Sequential a = MakeC10Net(&rng);

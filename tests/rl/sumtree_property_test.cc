@@ -57,5 +57,63 @@ TEST_P(SumTreePropertyTest, FindAgreesWithLinearScan) {
 INSTANTIATE_TEST_SUITE_P(Capacities, SumTreePropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 64, 100));
 
+// Boundary behavior at and beyond the total mass: a [0, 1) draw scaled by
+// Total() can round up to exactly Total() in floating point, and Find must
+// then land on the LAST leaf that carries priority — never a zero-priority
+// padding leaf past it.
+TEST_P(SumTreePropertyTest, FindAtTotalMassReturnsLastPositiveLeaf) {
+  const size_t capacity = GetParam();
+  SumTree tree(capacity);
+  util::Rng rng(capacity * 23 + 5);
+  for (size_t i = 0; i < capacity; ++i) {
+    tree.Set(i, rng.Uniform(0.1, 5.0));
+  }
+  EXPECT_EQ(tree.Find(tree.Total()), capacity - 1);
+  EXPECT_EQ(tree.Find(tree.Total() * 2.0), capacity - 1);
+}
+
+TEST_P(SumTreePropertyTest, FindSkipsZeroPriorityTail) {
+  const size_t capacity = GetParam();
+  if (capacity < 2) return;
+  SumTree tree(capacity);
+  // Only the first half carries priority; the tail (and the power-of-two
+  // padding beyond capacity) is zero.
+  const size_t filled = capacity / 2;
+  for (size_t i = 0; i < filled; ++i) tree.Set(i, 1.0);
+  for (double mass : {tree.Total() - 1e-12, tree.Total(),
+                      tree.Total() + 1.0}) {
+    const size_t found = tree.Find(mass);
+    EXPECT_LT(found, filled) << "mass " << mass
+                             << " landed on a zero-priority leaf";
+  }
+}
+
+TEST(SumTreeBoundaryTest, AllZeroPrioritiesFindStaysInRange) {
+  for (size_t capacity : {1u, 2u, 5u, 8u}) {
+    SumTree tree(capacity);
+    for (double mass : {0.0, 0.5, 1.0}) {
+      EXPECT_LT(tree.Find(mass), capacity);
+    }
+  }
+}
+
+TEST(SumTreeBoundaryTest, CapacityOneAlwaysFindsLeafZero) {
+  SumTree tree(1);
+  EXPECT_EQ(tree.Find(0.0), 0u);
+  tree.Set(0, 2.5);
+  EXPECT_EQ(tree.Find(0.0), 0u);
+  EXPECT_EQ(tree.Find(2.4), 0u);
+  EXPECT_EQ(tree.Find(2.5), 0u);   // mass == Total()
+  EXPECT_EQ(tree.Find(99.0), 0u);  // mass > Total()
+}
+
+TEST(SumTreeBoundaryTest, SinglePositiveLeafAbsorbsAllMass) {
+  SumTree tree(7);
+  tree.Set(3, 4.0);
+  for (double mass : {0.0, 2.0, 3.999, 4.0, 100.0}) {
+    EXPECT_EQ(tree.Find(mass), 3u) << "mass " << mass;
+  }
+}
+
 }  // namespace
 }  // namespace fedmigr::rl

@@ -1,0 +1,108 @@
+#include "util/file.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::util {
+namespace {
+
+// Unique-ish scratch directory per test under the build tree.
+std::string ScratchDir(const std::string& tag) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = (base != nullptr ? std::string(base) : "/tmp");
+  dir += "/fedmigr_file_test_" + tag;
+  EXPECT_TRUE(MakeDirectories(dir).ok());
+  return dir;
+}
+
+TEST(FileTest, AtomicWriteThenReadRoundTrips) {
+  const std::string dir = ScratchDir("roundtrip");
+  const std::string path = dir + "/payload.bin";
+  const std::vector<uint8_t> data = {1, 2, 3, 0, 255, 42};
+  ASSERT_TRUE(AtomicWriteFile(path, data).ok());
+  ASSERT_TRUE(FileExists(path));
+  const Result<std::vector<uint8_t>> read = ReadFileBytes(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+  EXPECT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(FileTest, AtomicWriteReplacesExistingFile) {
+  const std::string dir = ScratchDir("replace");
+  const std::string path = dir + "/payload.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, {9, 9, 9, 9, 9, 9, 9, 9}).ok());
+  ASSERT_TRUE(AtomicWriteFile(path, {1}).ok());
+  const Result<std::vector<uint8_t>> read = ReadFileBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, (std::vector<uint8_t>{1}));
+  EXPECT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(FileTest, AtomicWriteLeavesNoTempFileBehind) {
+  const std::string dir = ScratchDir("notemp");
+  const std::string path = dir + "/payload.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, {4, 5, 6}).ok());
+  const Result<std::vector<std::string>> names = ListDirectory(dir);
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+  EXPECT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(FileTest, EmptyPayloadRoundTrips) {
+  const std::string dir = ScratchDir("empty");
+  const std::string path = dir + "/empty.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, {}).ok());
+  const Result<std::vector<uint8_t>> read = ReadFileBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  EXPECT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(FileTest, ReadMissingFileIsError) {
+  const Result<std::vector<uint8_t>> read =
+      ReadFileBytes("/nonexistent/dir/nothing.bin");
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(FileTest, WriteIntoMissingDirectoryIsError) {
+  EXPECT_FALSE(
+      AtomicWriteFile("/nonexistent/dir/nothing.bin", {1, 2, 3}).ok());
+}
+
+TEST(FileTest, RemoveMissingFileIsOk) {
+  const std::string dir = ScratchDir("removemissing");
+  EXPECT_TRUE(RemoveFile(dir + "/never_created.bin").ok());
+}
+
+TEST(FileTest, MakeDirectoriesIsIdempotent) {
+  const std::string dir = ScratchDir("mkdir") + "/a/b/c";
+  EXPECT_TRUE(MakeDirectories(dir).ok());
+  EXPECT_TRUE(MakeDirectories(dir).ok());
+}
+
+TEST(FileTest, ListDirectoryFindsRegularFiles) {
+  const std::string dir = ScratchDir("list");
+  ASSERT_TRUE(AtomicWriteFile(dir + "/a.bin", {1}).ok());
+  ASSERT_TRUE(AtomicWriteFile(dir + "/b.bin", {2}).ok());
+  ASSERT_TRUE(MakeDirectories(dir + "/subdir").ok());
+  const Result<std::vector<std::string>> names = ListDirectory(dir);
+  ASSERT_TRUE(names.ok());
+  std::vector<std::string> sorted = *names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::string>{"a.bin", "b.bin"}));
+  EXPECT_TRUE(RemoveFile(dir + "/a.bin").ok());
+  EXPECT_TRUE(RemoveFile(dir + "/b.bin").ok());
+}
+
+TEST(FileTest, ListMissingDirectoryIsError) {
+  EXPECT_FALSE(ListDirectory("/nonexistent/dir/nowhere").ok());
+}
+
+}  // namespace
+}  // namespace fedmigr::util

@@ -1,0 +1,169 @@
+#include "util/serial.h"
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedmigr::util {
+namespace {
+
+TEST(SerialTest, PrimitivesRoundTrip) {
+  ByteWriter writer;
+  writer.WriteU8(7);
+  writer.WriteU32(0xDEADBEEFu);
+  writer.WriteU64(0x0123456789ABCDEFull);
+  writer.WriteI32(-42);
+  writer.WriteI64(-1234567890123LL);
+  writer.WriteF32(3.5f);
+  writer.WriteF64(-2.25);
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+
+  ByteReader reader(writer.bytes());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  int64_t i64 = 0;
+  float f32 = 0.0f;
+  double f64 = 0.0;
+  bool b1 = false, b2 = true;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI32(&i32).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadF32(&f32).ok());
+  ASSERT_TRUE(reader.ReadF64(&f64).ok());
+  ASSERT_TRUE(reader.ReadBool(&b1).ok());
+  ASSERT_TRUE(reader.ReadBool(&b2).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -1234567890123LL);
+  EXPECT_EQ(f32, 3.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+}
+
+TEST(SerialTest, FloatBitPatternsSurviveExactly) {
+  // NaN, infinities and denormals must round-trip bit-exactly — the resume
+  // determinism contract is byte equality, not value equality.
+  const std::vector<double> specials = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      -0.0,
+  };
+  ByteWriter writer;
+  for (double v : specials) writer.WriteF64(v);
+  ByteReader reader(writer.bytes());
+  for (double v : specials) {
+    double out = 0.0;
+    ASSERT_TRUE(reader.ReadF64(&out).ok());
+    uint64_t expected_bits = 0, actual_bits = 0;
+    std::memcpy(&expected_bits, &v, sizeof(v));
+    std::memcpy(&actual_bits, &out, sizeof(out));
+    EXPECT_EQ(actual_bits, expected_bits);
+  }
+}
+
+TEST(SerialTest, SequencesRoundTrip) {
+  ByteWriter writer;
+  writer.WriteString("hello snapshot");
+  writer.WriteBytes({0x00, 0xFF, 0x42});
+  writer.WriteF32Vector({1.0f, -2.0f, 0.5f});
+  writer.WriteF64Vector({});
+  writer.WriteI32Vector({-1, 0, 1, 1 << 20});
+  writer.WriteBoolVector({true, false, true, true});
+
+  ByteReader reader(writer.bytes());
+  std::string s;
+  std::vector<uint8_t> bytes;
+  std::vector<float> f32s;
+  std::vector<double> f64s = {9.0};
+  std::vector<int> i32s;
+  std::vector<bool> bools;
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  ASSERT_TRUE(reader.ReadBytes(&bytes).ok());
+  ASSERT_TRUE(reader.ReadF32Vector(&f32s).ok());
+  ASSERT_TRUE(reader.ReadF64Vector(&f64s).ok());
+  ASSERT_TRUE(reader.ReadI32Vector(&i32s).ok());
+  ASSERT_TRUE(reader.ReadBoolVector(&bools).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(s, "hello snapshot");
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{0x00, 0xFF, 0x42}));
+  EXPECT_EQ(f32s, (std::vector<float>{1.0f, -2.0f, 0.5f}));
+  EXPECT_TRUE(f64s.empty());
+  EXPECT_EQ(i32s, (std::vector<int>{-1, 0, 1, 1 << 20}));
+  EXPECT_EQ(bools, (std::vector<bool>{true, false, true, true}));
+}
+
+TEST(SerialTest, ReadPastEndFailsAndLeavesCursor) {
+  ByteWriter writer;
+  writer.WriteU32(5);
+  ByteReader reader(writer.bytes());
+  uint64_t too_big = 0;
+  EXPECT_FALSE(reader.ReadU64(&too_big).ok());
+  // The failed read must not consume anything.
+  uint32_t ok_value = 0;
+  ASSERT_TRUE(reader.ReadU32(&ok_value).ok());
+  EXPECT_EQ(ok_value, 5u);
+}
+
+TEST(SerialTest, EmptyBufferFailsEverything) {
+  ByteReader reader(nullptr, 0);
+  uint8_t u8;
+  std::string s;
+  std::vector<float> f;
+  EXPECT_FALSE(reader.ReadU8(&u8).ok());
+  EXPECT_FALSE(reader.ReadString(&s).ok());
+  EXPECT_FALSE(reader.ReadF32Vector(&f).ok());
+}
+
+TEST(SerialTest, OversizedCountIsRejectedWithoutAllocating) {
+  // A u64 count far beyond the bytes that follow must be rejected up front
+  // (the fuzz-safety property: no multi-terabyte resize on corrupt input).
+  ByteWriter writer;
+  writer.WriteU64(std::numeric_limits<uint64_t>::max());
+  writer.WriteF32(1.0f);
+  ByteReader reader(writer.bytes());
+  std::vector<float> values;
+  EXPECT_FALSE(reader.ReadF32Vector(&values).ok());
+  EXPECT_TRUE(values.empty());
+}
+
+TEST(SerialTest, InvalidBoolByteRejected) {
+  const std::vector<uint8_t> bytes = {2};
+  ByteReader reader(bytes);
+  bool value = false;
+  EXPECT_FALSE(reader.ReadBool(&value).ok());
+}
+
+TEST(SerialTest, TruncationAtEveryOffsetFailsCleanly) {
+  ByteWriter writer;
+  writer.WriteString("abcdef");
+  writer.WriteI32Vector({1, 2, 3});
+  writer.WriteF64(1.5);
+  const std::vector<uint8_t>& full = writer.bytes();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    ByteReader reader(full.data(), cut);
+    std::string s;
+    std::vector<int> v;
+    double d;
+    const bool all_ok = reader.ReadString(&s).ok() &&
+                        reader.ReadI32Vector(&v).ok() &&
+                        reader.ReadF64(&d).ok();
+    EXPECT_FALSE(all_ok) << "cut " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace fedmigr::util
