@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Runs the three analyzers over the tree:
+#   1. tools/fedmigr_lint       — repo-specific invariants (determinism,
+#                                 atomic writes, Status discipline)
+#   2. clang-format --dry-run   — formatting, config in .clang-format
+#   3. clang-tidy               — static analysis, config in .clang-tidy
+#
+# Usage: scripts/lint.sh [--strict] [--no-tidy]
+#
+# fedmigr_lint (and its --self-test) always runs — it only needs python3.
+# clang-format / clang-tidy are skipped with a notice when the binary is
+# not installed, unless --strict is given (CI passes --strict so a
+# missing analyzer fails loudly instead of silently passing).
+# clang-tidy needs a compile database; the script generates one into
+# build-lint/ if no build directory has compile_commands.json yet.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+STRICT=0
+RUN_TIDY=1
+for arg in "$@"; do
+  case "$arg" in
+    --strict) STRICT=1 ;;
+    --no-tidy) RUN_TIDY=0 ;;
+    *) echo "usage: scripts/lint.sh [--strict] [--no-tidy]" >&2; exit 2 ;;
+  esac
+done
+
+FAILURES=0
+
+note() { echo "== $*"; }
+fail() { echo "FAILED: $*" >&2; FAILURES=$((FAILURES + 1)); }
+
+missing_tool() {
+  local tool="$1"
+  if [ "$STRICT" -eq 1 ]; then
+    fail "$tool is not installed (required in --strict mode)"
+  else
+    note "$tool not installed — skipped (CI runs it; use --strict to require)"
+  fi
+}
+
+# Tracked C++ sources; excludes lint_selftest fixtures, which are seeded
+# violations by design.
+cxx_sources() {
+  git ls-files 'src/**' 'tests/**' 'bench/**' 'examples/**' \
+    | grep -E '\.(cc|cpp|h|hpp)$' \
+    | grep -v '^tools/lint_selftest/'
+}
+
+# ---- 1. fedmigr_lint ------------------------------------------------------
+
+note "fedmigr_lint --self-test"
+if python3 tools/fedmigr_lint --self-test; then :; else
+  fail "fedmigr_lint --self-test"
+fi
+
+note "fedmigr_lint (src/ bench/ examples/)"
+if python3 tools/fedmigr_lint; then :; else
+  fail "fedmigr_lint"
+fi
+
+# ---- 2. clang-format ------------------------------------------------------
+
+if command -v clang-format >/dev/null 2>&1; then
+  note "clang-format --dry-run -Werror"
+  if cxx_sources | xargs -r clang-format --dry-run -Werror; then :; else
+    fail "clang-format (run: git ls-files '*.cc' '*.h' | xargs clang-format -i)"
+  fi
+else
+  missing_tool clang-format
+fi
+
+# ---- 3. clang-tidy --------------------------------------------------------
+
+if [ "$RUN_TIDY" -eq 1 ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    COMPDB_DIR=""
+    for dir in build build-lint build-sanitize build-tsan; do
+      if [ -f "$dir/compile_commands.json" ]; then COMPDB_DIR="$dir"; break; fi
+    done
+    if [ -z "$COMPDB_DIR" ]; then
+      note "generating compile database in build-lint/"
+      if cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+               >/dev/null; then
+        COMPDB_DIR="build-lint"
+      else
+        fail "cmake configure for compile database"
+      fi
+    fi
+    if [ -n "$COMPDB_DIR" ]; then
+      note "clang-tidy (-p $COMPDB_DIR)"
+      # Headers are covered through the TUs that include them
+      # (HeaderFilterRegex in .clang-tidy).
+      if git ls-files 'src/**' 'tests/**' 'bench/**' 'examples/**' \
+           | grep -E '\.(cc|cpp)$' \
+           | xargs -r clang-tidy -p "$COMPDB_DIR" --quiet; then :; else
+        fail "clang-tidy"
+      fi
+    fi
+  else
+    missing_tool clang-tidy
+  fi
+fi
+
+# ---------------------------------------------------------------------------
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "lint: $FAILURES analyzer(s) failed" >&2
+  exit 1
+fi
+echo "lint: OK"

@@ -190,12 +190,19 @@ util::Result<int> SnapshotManager::Resume(fl::Trainer* trainer) const {
 
 namespace {
 
+// The only cross-thread state in the snapshot subsystem (the flush itself
+// always runs on the run thread). Release on store / acquire on load: when
+// a non-signal thread calls RequestInterrupt() after preparing state for
+// the run thread to observe, the flag carries the happens-before edge.
+// The signal-handler path needs none of that — it just requires the
+// lock-free store, which std::atomic<bool> guarantees on every platform
+// we build for (checked in tests/core/snapshot_race_test.cc under TSan).
 std::atomic<bool> g_interrupted{false};
 
 // Async-signal-safe: only a lock-free atomic store; the snapshot flush
 // happens on the run thread at the next epoch boundary.
 void HandleSignal(int /*signum*/) {
-  g_interrupted.store(true, std::memory_order_relaxed);
+  g_interrupted.store(true, std::memory_order_release);
 }
 
 }  // namespace
@@ -206,15 +213,15 @@ void InstallInterruptHandlers() {
 }
 
 bool InterruptRequested() {
-  return g_interrupted.load(std::memory_order_relaxed);
+  return g_interrupted.load(std::memory_order_acquire);
 }
 
 void RequestInterrupt() {
-  g_interrupted.store(true, std::memory_order_relaxed);
+  g_interrupted.store(true, std::memory_order_release);
 }
 
 void ClearInterrupt() {
-  g_interrupted.store(false, std::memory_order_relaxed);
+  g_interrupted.store(false, std::memory_order_release);
 }
 
 // --- RunScheme wiring -----------------------------------------------------

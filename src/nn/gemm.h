@@ -62,7 +62,10 @@ int GetIntraOpThreads();
 // execution (same chunk sequence) when the pool is serial or the calling
 // thread is already a pool worker — the composition rule that lets
 // intra-op kernels run inside the trainer's inter-client ParallelFor
-// without nested-pool deadlock.
+// without nested-pool deadlock. Safe to call from several non-worker
+// threads at once: they share the lazily built pool, whose Wait() holds
+// each caller until the combined queue drains (TSan-gated by the
+// GemmConcurrency tests).
 void IntraOpParallelRange(int64_t n, int64_t grain,
                           const std::function<void(int64_t, int64_t)>& fn);
 

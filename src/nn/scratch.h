@@ -8,6 +8,11 @@
 // chunk), so pointers handed out stay valid until the Scope that covers
 // them closes. Scopes nest: a conv kernel holds its im2col buffer open
 // while the GEMM it calls allocates and releases packing panels.
+//
+// Thread safety: arenas are strictly thread-local (ThreadLocal() returns
+// the calling thread's instance) and no pointer may cross threads; the
+// `tsan` preset's GemmConcurrency tests exercise concurrent kernels each
+// bumping their own arena.
 
 #ifndef FEDMIGR_NN_SCRATCH_H_
 #define FEDMIGR_NN_SCRATCH_H_

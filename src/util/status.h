@@ -30,7 +30,12 @@ enum class StatusCode {
 };
 
 // Value-semantic status word. Copyable and cheap (one enum + one string).
-class Status {
+// [[nodiscard]] at the class level: every function returning a Status (the
+// ByteReader helpers, Load/Deserialize APIs, file I/O) makes the caller
+// either handle the error or cast the drop to (void) explicitly — enforced
+// tree-wide with -Werror=unused-result and the fedmigr_lint
+// `discarded-status` rule.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -81,7 +86,7 @@ class Status {
 // absl::StatusOr but minimal: no implicit conversions beyond the two
 // constructors below.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : value_(std::move(value)) {}           // NOLINT

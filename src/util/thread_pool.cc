@@ -58,7 +58,9 @@ void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
   if (pending_error_ != nullptr) {
-    std::exception_ptr error = pending_error_;
+    // Take sole ownership under the lock (see WorkerLoop): from here on
+    // the exception object lives and dies on this thread.
+    std::exception_ptr error = std::move(pending_error_);
     pending_error_ = nullptr;
     lock.unlock();
     std::rethrow_exception(error);
@@ -140,11 +142,20 @@ void ThreadPool::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (error != nullptr && pending_error_ == nullptr) {
-        pending_error_ = error;
+        // Transfer (not share) the reference: after the move this thread
+        // holds nothing, so every later touch of the exception object —
+        // rethrow, what(), final release — happens on the thread that
+        // takes it out of pending_error_, with the mutex ordering the
+        // handoff. Sharing the exception_ptr would release the refcount
+        // from two threads and free the object on whichever lost the
+        // race.
+        pending_error_ = std::move(error);
       }
       --active_;
       if (queue_.empty() && active_ == 0) all_idle_.notify_all();
     }
+    // A dropped secondary exception (pending_error_ was already set) is
+    // destroyed here; it never escaped this thread.
   }
 }
 

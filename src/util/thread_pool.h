@@ -22,7 +22,11 @@ namespace fedmigr::util {
 // A task that throws does not kill its worker thread: the first exception
 // is captured and rethrown from the next Wait() (and thus from
 // ParallelFor); later exceptions from the same batch are dropped. A still
-// pending exception at destruction time is logged, not rethrown.
+// pending exception at destruction time is logged, not rethrown. The
+// captured exception is *transferred*, never shared: the worker moves its
+// reference into `pending_error_` under the pool mutex and Wait() moves it
+// back out, so the exception object is only ever touched by one thread at
+// a time (the TSan-verified ownership handoff; see WorkerLoop).
 //
 // Nesting: ParallelFor / ParallelForRange called from inside any pool
 // worker (this pool or another) run their body inline on the calling

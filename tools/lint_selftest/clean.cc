@@ -1,0 +1,44 @@
+// Negative fixture for `fedmigr_lint --self-test`: idiomatic FedMigr code
+// that must produce zero findings. Patterns here are chosen to sit close
+// to each rule's boundary — mentioning banned names only in comments and
+// strings, ordered-container iteration, sanctioned error handling — so a
+// rule that over-triggers fails the self-test as loudly as one that goes
+// quiet. Never compiled or linked.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/file.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fedmigr::lint_fixture {
+
+// Comments may talk about std::random_device, rand() and time(nullptr)
+// freely; only code draws findings.
+double SanctionedDraw(util::Rng* rng) {
+  // "call srand() first" — banned names inside a string are fine too.
+  const std::string hint = "do not use rand() or std::mt19937 here";
+  return rng->Uniform() + static_cast<double>(hint.size());
+}
+
+double SumInKeyOrder(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) {
+    total += w + id;
+  }
+  return total;
+}
+
+util::Status HandledStatuses(const std::string& path,
+                             const std::vector<uint8_t>& payload) {
+  FEDMIGR_RETURN_IF_ERROR(util::MakeDirectories(path));
+  const util::Status written = util::AtomicWriteFile(path + "/a.bin", payload);
+  if (!written.ok()) {
+    return written;
+  }
+  return util::RemoveFile(path + "/a.bin");
+}
+
+}  // namespace fedmigr::lint_fixture

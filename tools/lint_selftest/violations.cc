@@ -1,0 +1,79 @@
+// Seeded violations for `fedmigr_lint --self-test`. Every line marked
+// LINT-EXPECT must be flagged with exactly that rule; any other flagged
+// line is a self-test failure (false positive). This file is a fixture —
+// it is never compiled or linked.
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/file.h"
+#include "util/status.h"
+
+namespace fedmigr::lint_fixture {
+
+// --- banned-random ---------------------------------------------------------
+
+unsigned SeedFromHardware() {
+  std::random_device device;  // LINT-EXPECT: banned-random
+  return device();
+}
+
+unsigned SeedFromClock() {
+  return static_cast<unsigned>(time(nullptr));  // LINT-EXPECT: banned-random
+}
+
+int LegacyRand() {
+  srand(42);     // LINT-EXPECT: banned-random
+  return rand(); // LINT-EXPECT: banned-random
+}
+
+double StdEngineDraw() {
+  std::mt19937 engine;  // LINT-EXPECT: banned-random
+  std::default_random_engine fallback;  // LINT-EXPECT: banned-random
+  return static_cast<double>(engine()) + static_cast<double>(fallback());
+}
+
+// --- unordered-iter --------------------------------------------------------
+
+double SumInHashOrder(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) {  // LINT-EXPECT: unordered-iter
+    total += w;
+  }
+  return total;
+}
+
+int WalkUnorderedSet() {
+  std::unordered_set<int> ids = {3, 1, 2};
+  int checksum = 0;
+  for (auto it = ids.begin(); it != ids.end(); ++it) {  // LINT-EXPECT: unordered-iter
+    checksum = checksum * 31 + *it;
+  }
+  return checksum;
+}
+
+// --- raw-file-write --------------------------------------------------------
+
+void TearProneWrite(const char* path) {
+  std::FILE* f = fopen(path, "wb");  // LINT-EXPECT: raw-file-write
+  const char byte = 1;
+  fwrite(&byte, 1, 1, f);  // LINT-EXPECT: raw-file-write
+}
+
+void StreamWrite(const char* path) {
+  std::ofstream out(path);  // LINT-EXPECT: raw-file-write
+  out << "metrics";
+}
+
+// --- discarded-status ------------------------------------------------------
+
+void DropsStatuses(const std::string& path) {
+  util::RemoveFile(path);  // LINT-EXPECT: discarded-status
+  util::MakeDirectories(path);  // LINT-EXPECT: discarded-status
+}
+
+}  // namespace fedmigr::lint_fixture
