@@ -17,8 +17,12 @@
 #include "common.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedmigr;
+
+  const bench::TelemetryFlags telemetry_flags =
+      bench::ParseTelemetryFlags(argc, argv);
+  bench::BeginTelemetry(telemetry_flags);
 
   const double failure_rates[] = {0.0, 0.05, 0.1, 0.2, 0.4};
   const char* schemes[] = {"fedavg", "randmigr", "fedmigr"};
@@ -62,5 +66,6 @@ int main() {
       "\nReading: p(fail)=0 rows are bit-identical to the fault-free bench "
       "path (the\ninjector is a strict no-op); under loss, accuracy degrades "
       "gracefully while\nretries/fallbacks inflate traffic and time.\n");
+  bench::FinishTelemetry(telemetry_flags);
   return 0;
 }

@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   // the three 150-epoch runs survive interruption.
   const bench::SnapshotFlags snapshot_flags =
       bench::ParseSnapshotFlags(argc, argv);
+  // --metrics-out / --trace-out / --log-level; file outputs only, the table
+  // on stdout stays byte-identical.
+  const bench::TelemetryFlags telemetry_flags =
+      bench::ParseTelemetryFlags(argc, argv);
+  bench::BeginTelemetry(telemetry_flags);
 
   const char* strategies[] = {"crosslan", "randonly", "withinlan"};
   const uint64_t seeds[] = {5, 6, 7};
@@ -89,5 +94,6 @@ int main(int argc, char** argv) {
       "contrast: foreign-data migration (cross-LAN/random) beats "
       "within-LAN.\n",
       100 * cross, 100 * random, 100 * within);
+  bench::FinishTelemetry(telemetry_flags);
   return 0;
 }

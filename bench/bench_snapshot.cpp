@@ -10,7 +10,6 @@
 //
 //   $ ./bench_snapshot [--epochs=N]
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,18 +18,12 @@
 #include <vector>
 
 #include "common.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/file.h"
 #include "util/serial.h"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double MsSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
 
 struct OverheadSample {
   double epoch_ms = 0.0;      // full epoch without any snapshot work
@@ -52,10 +45,10 @@ OverheadSample Measure(const fedmigr::core::Workload& workload,
   fl::Trainer plain(baseline.config, &workload.data.train, workload.partition,
                     &workload.data.test, workload.topology, workload.devices,
                     workload.model_factory, std::move(baseline.policy));
-  const Clock::time_point plain_start = Clock::now();
+  const obs::Stopwatch plain_watch;
   plain.Run();
   OverheadSample sample;
-  sample.epoch_ms = MsSince(plain_start) / epochs;
+  sample.epoch_ms = plain_watch.ElapsedMs() / epochs;
 
   // Instrumented: serialize and publish once per epoch, timed separately.
   fl::SchemeSetup setup = bench::MakeBenchScheme(scheme, workload, run);
@@ -66,15 +59,15 @@ OverheadSample Measure(const fedmigr::core::Workload& workload,
   const std::string path = dir + "/" + scheme + ".fsnp";
   int saves = 0;
   trainer.SetEpochHook([&](const fl::Trainer& t, int) {
-    Clock::time_point start = Clock::now();
+    obs::Stopwatch watch;
     util::ByteWriter writer;
     t.SaveState(&writer);
-    sample.serialize_ms += MsSince(start);
+    sample.serialize_ms += watch.ElapsedMs();
 
-    start = Clock::now();
+    watch.Restart();
     const util::Status status =
         core::WriteSnapshotFile(path, writer.TakeBytes());
-    sample.publish_ms += MsSince(start);
+    sample.publish_ms += watch.ElapsedMs();
     if (!status.ok()) {
       std::fprintf(stderr, "snapshot publish failed: %s\n",
                    status.ToString().c_str());

@@ -1,0 +1,151 @@
+// Telemetry overhead at the Fig. 3 operating point: per-epoch wall-clock of
+// the cheapest scheme (FedAvg) and the heaviest (FedMigr: DRL policy, per
+// -step GEMMs through the instrumented kernels) with telemetry runtime-
+// disabled vs enabled, interleaved epoch-by-epoch within one run. The
+// instrumentation budget is <2% (DESIGN.md §11) — scopes are a relaxed
+// load + two clock reads, metric updates are relaxed atomic RMWs, and the
+// hottest counters (per-GEMM) batch thread-locally.
+//
+//   $ ./bench_telemetry [--epochs=N] [--metrics-out=F] [--trace-out=F]
+//
+// --epochs=N gives N enabled/disabled epoch pairs per scheme (2N epochs).
+//
+// With --trace-out the enabled runs also stream spans into the Chrome-trace
+// ring (the disabled runs record nothing, by construction), so this binary
+// doubles as the CI trace-artifact producer.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace {
+
+struct InterleavedSamples {
+  std::vector<double> on;   // epochs run with telemetry enabled
+  std::vector<double> off;  // epochs run with telemetry disabled
+};
+
+// Epoch i runs with telemetry on in the balanced ABBA pattern
+// (on,off,off,on | on,off,off,on | ...): on/off epochs see the same linear
+// drift and any period-2 structure in the training loop averages out.
+bool TelemetryOnForEpoch(int i) {
+  const int phase = i & 3;
+  return phase == 0 || phase == 3;
+}
+
+// One run of 2*pairs epochs with telemetry toggled per epoch. Sequential
+// whole-run A/B timing is hopeless on a shared host — minute-scale load
+// drift swamps a percent-level effect; interleaving within one run cancels
+// it, and the k-th on/off samples stay temporally adjacent so their paired
+// differences cancel it twice over.
+InterleavedSamples TimedRun(const fedmigr::core::Workload& workload,
+                            const std::string& scheme, int pairs) {
+  using namespace fedmigr;
+  const int epochs = 2 * pairs;
+  bench::BenchRunOptions run;
+  run.max_epochs = epochs;
+  run.eval_every = epochs;  // evaluation is measurement, keep it off-path
+  fl::SchemeSetup setup = bench::MakeBenchScheme(scheme, workload, run);
+  fl::Trainer trainer(setup.config, &workload.data.train, workload.partition,
+                      &workload.data.test, workload.topology,
+                      workload.devices, workload.model_factory,
+                      std::move(setup.policy));
+  InterleavedSamples samples;
+  samples.on.reserve(static_cast<size_t>(pairs));
+  samples.off.reserve(static_cast<size_t>(pairs));
+  int completed = 0;
+  obs::Stopwatch watch;
+  trainer.SetEpochHook([&](const fl::Trainer&, int) {
+    const double elapsed = watch.ElapsedMs();
+    (TelemetryOnForEpoch(completed) ? samples.on : samples.off)
+        .push_back(elapsed);
+    ++completed;
+    if (TelemetryOnForEpoch(completed)) {
+      obs::Telemetry::Enable();
+    } else {
+      obs::Telemetry::Disable();
+    }
+    watch.Restart();
+    return true;
+  });
+  obs::Telemetry::Enable();
+  watch.Restart();
+  trainer.Run();
+  obs::Telemetry::Enable();
+  return samples;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedmigr;
+
+  int epochs = 150;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      epochs = std::max(2, std::atoi(argv[i] + 9));
+    }
+  }
+  epochs += epochs % 2;  // even pair count keeps the ABBA pattern balanced
+  const bench::TelemetryFlags telemetry_flags =
+      bench::ParseTelemetryFlags(argc, argv);
+  bench::BeginTelemetry(telemetry_flags);
+
+  const core::Workload workload =
+      bench::MakeBenchWorkload(bench::BenchWorkloadOptions{});
+
+  std::printf(
+      "Telemetry overhead per epoch (Fig. 3 workload, %d interleaved "
+      "on/off epoch pairs per scheme)\n\n",
+      epochs);
+  util::TableWriter table({"scheme", "off p50 (ms)", "on p50 (ms)",
+                           "off p90 (ms)", "on p90 (ms)", "overhead (%)"});
+  bool over_budget = false;
+  for (const char* scheme : {"fedavg", "fedmigr"}) {
+    // Warm-up pass absorbs one-time costs (page cache, lazy pool spin-up)
+    // so neither mode is charged for them.
+    (void)TimedRun(workload, scheme, std::min(epochs, 3));
+
+    const InterleavedSamples samples = TimedRun(workload, scheme, epochs);
+    const util::Summary off = util::Summarize(samples.off);
+    const util::Summary on = util::Summarize(samples.on);
+
+    // Median of *paired* differences (k-th on epoch minus its temporally
+    // adjacent k-th off epoch), not a difference of independent medians: a
+    // single scheduler stall then perturbs one pair, not the whole
+    // estimate.
+    std::vector<double> diffs;
+    diffs.reserve(std::min(samples.on.size(), samples.off.size()));
+    for (size_t i = 0; i < samples.on.size() && i < samples.off.size(); ++i) {
+      diffs.push_back(samples.on[i] - samples.off[i]);
+    }
+    const double overhead =
+        off.p50 > 0.0 ? 100.0 * util::Percentile(diffs, 50.0) / off.p50 : 0.0;
+    over_budget = over_budget || overhead > 2.0;
+    table.AddRow();
+    table.AddCell(scheme);
+    table.AddCell(off.p50, 3);
+    table.AddCell(on.p50, 3);
+    table.AddCell(off.p90, 3);
+    table.AddCell(on.p90, 3);
+    table.AddCell(overhead, 2);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\noverhead = median of paired (on - off) per-epoch differences over "
+      "the off median;\non/off epochs interleaved ABBA within one run; "
+      "budget <2%%.%s\n",
+      over_budget ? " WARNING: budget exceeded on this host/run." : "");
+
+  bench::FinishTelemetry(telemetry_flags);
+  return 0;
+}

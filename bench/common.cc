@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "fl/policies.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace fedmigr::bench {
@@ -110,6 +112,53 @@ fl::RunResult RunBench(const core::Workload& workload,
       scheme + "-s" + std::to_string(options.seed);
   return core::RunScheme(workload, MakeBenchScheme(scheme, workload, options),
                          MakeRunControl(flags, run_name));
+}
+
+TelemetryFlags ParseTelemetryFlags(int argc, char** argv) {
+  TelemetryFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue(argv[i], "--metrics-out=")) {
+      flags.metrics_out = v;
+    } else if (const char* v = FlagValue(argv[i], "--trace-out=")) {
+      flags.trace_out = v;
+    } else if (const char* v = FlagValue(argv[i], "--log-level=")) {
+      util::LogLevel level = util::LogLevel::kInfo;
+      if (util::ParseLogLevel(v, &level)) {
+        util::SetLogLevel(level);
+      } else {
+        FEDMIGR_LOG(kWarning) << "unknown --log-level '" << v
+                              << "' (want debug|info|warning|error)";
+      }
+    }
+  }
+  return flags;
+}
+
+void BeginTelemetry(const TelemetryFlags& flags) {
+  if (!flags.trace_out.empty()) obs::TraceRecorder::Default().Start();
+}
+
+void FinishTelemetry(const TelemetryFlags& flags) {
+  if (!flags.trace_out.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+    recorder.Stop();
+    const util::Status status = recorder.WriteChromeJson(flags.trace_out);
+    if (!status.ok()) {
+      FEDMIGR_LOG(kError) << "trace write failed: " << status.ToString();
+    }
+  }
+  if (!flags.metrics_out.empty()) {
+    const bool csv = flags.metrics_out.size() > 4 &&
+                     flags.metrics_out.rfind(".csv") ==
+                         flags.metrics_out.size() - 4;
+    const obs::Registry& registry = obs::Registry::Default();
+    const util::Status status = csv
+                                    ? registry.WriteCsvFile(flags.metrics_out)
+                                    : registry.WriteJsonFile(flags.metrics_out);
+    if (!status.ok()) {
+      FEDMIGR_LOG(kError) << "metrics write failed: " << status.ToString();
+    }
+  }
 }
 
 std::string PercentChange(double baseline, double value) {

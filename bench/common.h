@@ -92,6 +92,29 @@ fl::RunResult RunBench(const core::Workload& workload,
                        const BenchRunOptions& options,
                        const SnapshotFlags& flags);
 
+// Telemetry flags shared by the bench binaries:
+//   --metrics-out=PATH  write a registry snapshot (JSON; .csv extension
+//                       switches to CSV) when the bench finishes
+//   --trace-out=PATH    record a Chrome trace for the whole run and write
+//                       it at exit (open in Perfetto / chrome://tracing)
+//   --log-level=LEVEL   debug | info | warning | error
+// Nothing is printed to stdout, so instrumented runs keep byte-identical
+// tables.
+struct TelemetryFlags {
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+TelemetryFlags ParseTelemetryFlags(int argc, char** argv);
+
+// Applies --log-level and starts the trace recorder if --trace-out was
+// given. Call once before the timed work.
+void BeginTelemetry(const TelemetryFlags& flags);
+
+// Writes the metrics/trace files requested by `flags` (logging any write
+// failure) and stops the recorder.
+void FinishTelemetry(const TelemetryFlags& flags);
+
 // "a -> b (-37%)" helper for change-vs-baseline cells.
 std::string PercentChange(double baseline, double value);
 

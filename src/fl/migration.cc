@@ -117,7 +117,7 @@ MigrationExecution ExecuteWithFaults(const MigrationPlan& plan,
         // The direct link gave up: re-route through the parameter server,
         // charged as C2S both ways.
         ++exec.fallback_moves;
-        ++faults->mutable_counters()->fallbacks;
+        faults->CountFallback();
         const net::TransferResult up = faults->Transfer(
             src, net::kServerId, model_bytes, topology, traffic);
         seconds += up.seconds;

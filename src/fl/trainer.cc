@@ -5,6 +5,9 @@
 
 #include "data/distribution.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace fedmigr::fl {
@@ -111,6 +114,7 @@ void Trainer::ApplyDp(nn::Sequential* model) {
 }
 
 double Trainer::LocalUpdatePhase(double* phase_seconds) {
+  FEDMIGR_TRACE_SCOPE("fl/local_update");
   const int k = num_clients();
   LocalUpdateOptions options;
   options.epochs = config_.tau;
@@ -155,6 +159,7 @@ double Trainer::LocalUpdatePhase(double* phase_seconds) {
 }
 
 Evaluation Trainer::AggregationPhase(bool evaluate) {
+  FEDMIGR_TRACE_SCOPE("fl/aggregate");
   const int k = num_clients();
   const bool faulty = faults_.enabled();
   const double upload_deadline = config_.fault.upload_deadline_s;
@@ -181,12 +186,12 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
     if (!res.status.ok()) continue;  // upload lost after retries
     if (faulty && arrival > upload_deadline) {
       // The server stopped waiting; the bytes are spent anyway.
-      ++faults_.mutable_counters()->dropped_stragglers;
+      faults_.CountDroppedStraggler();
       continue;
     }
     if (res.corrupted &&
         CorruptedPayloadRejected(clients_[static_cast<size_t>(i)]->model())) {
-      ++faults_.mutable_counters()->corrupt_rejected;
+      faults_.CountCorruptRejected();
       continue;
     }
     arrived[static_cast<size_t>(i)] = true;
@@ -207,7 +212,10 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
   // If every upload was lost this round, the previous global model stands.
   if (!models.empty()) server_->Aggregate(models, weights);
   Evaluation eval;
-  if (evaluate) eval = server_->EvaluateGlobal(config_.batch_size * 2);
+  if (evaluate) {
+    FEDMIGR_TRACE_SCOPE("fl/evaluate");
+    eval = server_->EvaluateGlobal(config_.batch_size * 2);
+  }
 
   // Distribution: global model back to every reachable client; a client
   // whose download is lost keeps training on its stale model.
@@ -223,7 +231,7 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
     budget_.ConsumeBandwidth(static_cast<double>(res.bytes));
     if (!res.status.ok()) continue;
     if (res.corrupted && CorruptedPayloadRejected(server_->global_model())) {
-      ++faults_.mutable_counters()->corrupt_rejected;
+      faults_.CountCorruptRejected();
       continue;
     }
     clients_[static_cast<size_t>(i)]->SetModel(server_->global_model());
@@ -245,6 +253,7 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
 }
 
 int Trainer::MigrationPhase(int epoch, double loss) {
+  FEDMIGR_TRACE_SCOPE("fl/migrate");
   const int k = num_clients();
   std::vector<std::vector<double>> client_dists;
   client_dists.reserve(static_cast<size_t>(k));
@@ -297,7 +306,7 @@ int Trainer::MigrationPhase(int epoch, double loss) {
     if (!exec.delivered[j] || !exec.corrupted[j]) continue;
     const int src = plan.incoming[j];
     if (CorruptedPayloadRejected(clients_[static_cast<size_t>(src)]->model())) {
-      ++faults_.mutable_counters()->corrupt_rejected;
+      faults_.CountCorruptRejected();
       exec.delivered[j] = false;
     }
   }
@@ -327,6 +336,7 @@ int Trainer::MigrationPhase(int epoch, double loss) {
 }
 
 Evaluation Trainer::VirtualEvaluation() {
+  FEDMIGR_TRACE_SCOPE("fl/evaluate");
   const int k = num_clients();
   std::vector<const nn::Sequential*> models;
   std::vector<double> weights;
@@ -346,6 +356,7 @@ RunResult Trainer::Run() {
 
   for (int epoch = progress_.next_epoch;
        !progress_.done && epoch <= config_.max_epochs; ++epoch) {
+    FEDMIGR_TRACE_SCOPE("fl/epoch");
     EpochRecord record;
     record.epoch = epoch;
 
@@ -355,9 +366,11 @@ RunResult Trainer::Run() {
 
     double compute_before = budget_.compute_used();
     double bandwidth_before = budget_.bandwidth_used();
+    const double sim_epoch_start = budget_.time_used();
 
     double phase_seconds = 0.0;
     record.train_loss = LocalUpdatePhase(&phase_seconds);
+    const double sim_after_update = budget_.time_used();
 
     const bool aggregate_now = (epoch % config_.agg_period == 0) ||
                                (epoch == config_.max_epochs);
@@ -387,6 +400,36 @@ RunResult Trainer::Run() {
         static_cast<double>(traffic_.total_bytes()) / 1e9;
     result_.history.push_back(record);
 
+    if (obs::Telemetry::enabled()) {
+      // Simulated-time spans go on the pid-2 tracks so a trace shows what
+      // the simulation modelled next to what the host actually spent.
+      obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+      if (recorder.recording()) {
+        const double sim_epoch_end = budget_.time_used();
+        recorder.RecordSimSpan("epoch " + std::to_string(epoch), "fl/epoch",
+                               sim_epoch_start, sim_epoch_end);
+        recorder.RecordSimSpan("local_update", "fl/phase", sim_epoch_start,
+                               sim_after_update);
+        recorder.RecordSimSpan(record.aggregated ? "aggregate" : "migrate",
+                               "fl/phase", sim_after_update, sim_epoch_end);
+      }
+      static obs::Counter* epochs_run =
+          obs::Registry::Default().GetCounter("fl/epochs_run");
+      static obs::Counter* aggregations =
+          obs::Registry::Default().GetCounter("fl/aggregations");
+      static obs::Counter* migrations_applied =
+          obs::Registry::Default().GetCounter("fl/migrations_applied");
+      static obs::Gauge* train_loss =
+          obs::Registry::Default().GetGauge("fl/train_loss");
+      static obs::Gauge* test_accuracy =
+          obs::Registry::Default().GetGauge("fl/test_accuracy");
+      epochs_run->Increment();
+      if (record.aggregated) aggregations->Increment();
+      migrations_applied->Add(record.migrations);
+      train_loss->Set(record.train_loss);
+      test_accuracy->Set(record.test_accuracy);
+    }
+
     result_.best_accuracy =
         std::max(result_.best_accuracy, progress_.last_accuracy);
     result_.epochs_run = epoch;
@@ -410,6 +453,9 @@ RunResult Trainer::Run() {
     const bool target_hit = config_.target_accuracy > 0.0 &&
                             progress_.last_accuracy >= config_.target_accuracy;
     if (target_hit && !result_.reached_target) {
+      if (obs::Telemetry::enabled()) {
+        obs::TraceRecorder::Default().RecordInstant("fl/target_reached");
+      }
       result_.reached_target = true;
       result_.epochs_to_target = epoch;
       result_.time_to_target_s = budget_.time_used();
@@ -447,6 +493,9 @@ RunResult Trainer::Run() {
   result_.c2c_gb = traffic_.c2c_gb();
   result_.traffic = traffic_;
   result_.faults = faults_.counters();
+  if (obs::Telemetry::enabled()) {
+    result_.metrics = obs::Registry::Default().Snapshot();
+  }
   return result_;
 }
 

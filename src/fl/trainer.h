@@ -33,6 +33,7 @@
 #include "net/fault.h"
 #include "net/topology.h"
 #include "net/traffic.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 #include "util/thread_pool.h"
 
@@ -114,6 +115,10 @@ struct RunResult {
   // Fault-tolerance counters (attempts, retries, fallbacks, dropped
   // stragglers, checksum rejects, ...). All zero when faults are disabled.
   net::FaultCounters faults;
+  // Registry snapshot taken as Run() returned. The registry accumulates
+  // process-wide, so diff two snapshots to isolate a single run. Empty when
+  // telemetry is disabled or compiled out.
+  obs::MetricsSnapshot metrics;
 };
 
 class Trainer {

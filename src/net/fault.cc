@@ -2,9 +2,60 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 
 namespace fedmigr::net {
+
+namespace {
+
+// Live registry mirrors of FaultCounters, one counter per field. The struct
+// stays the serialized per-run source (SaveState/LoadState); the registry
+// accumulates process-wide, so every mutation goes through Bump to keep the
+// two views in lockstep.
+struct FaultMetrics {
+  obs::Counter* attempts;
+  obs::Counter* failures;
+  obs::Counter* retries;
+  obs::Counter* deadline_aborts;
+  obs::Counter* aborted_transfers;
+  obs::Counter* fallbacks;
+  obs::Counter* corrupted;
+  obs::Counter* corrupt_rejected;
+  obs::Counter* dropped_stragglers;
+  obs::Counter* crash_epochs;
+  obs::Counter* crashes;
+
+  static const FaultMetrics& Get() {
+    static const FaultMetrics* metrics = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      return new FaultMetrics{
+          registry.GetCounter("net/fault_attempts"),
+          registry.GetCounter("net/fault_failures"),
+          registry.GetCounter("net/fault_retries"),
+          registry.GetCounter("net/fault_deadline_aborts"),
+          registry.GetCounter("net/fault_aborted_transfers"),
+          registry.GetCounter("net/fault_fallbacks"),
+          registry.GetCounter("net/fault_corrupted"),
+          registry.GetCounter("net/fault_corrupt_rejected"),
+          registry.GetCounter("net/fault_dropped_stragglers"),
+          registry.GetCounter("net/fault_crash_epochs"),
+          registry.GetCounter("net/fault_crashes"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+// The registry lookup stays inside the enabled() branch so a disabled (or
+// compiled-out) build never touches the metrics statics.
+void Bump(int64_t* slot, obs::Counter* FaultMetrics::*member) {
+  ++*slot;
+  if (obs::Telemetry::enabled()) (FaultMetrics::Get().*member)->Increment();
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(const FaultConfig& config)
     : config_(config), rng_(config.seed) {
@@ -38,9 +89,9 @@ void FaultInjector::BeginEpoch(int num_clients) {
       const int span = config_.crash_max_epochs - config_.crash_min_epochs;
       down = config_.crash_min_epochs +
              (span > 0 ? rng_.UniformInt(span + 1) : 0);
-      ++counters_.crashes;
+      Bump(&counters_.crashes, &FaultMetrics::crashes);
     }
-    if (down > 0) ++counters_.crash_epochs;
+    if (down > 0) Bump(&counters_.crash_epochs, &FaultMetrics::crash_epochs);
     straggler_[static_cast<size_t>(i)] =
         config_.straggler_prob > 0.0 && rng_.Bernoulli(config_.straggler_prob);
   }
@@ -108,6 +159,18 @@ util::Status FaultInjector::LoadState(util::ByteReader* reader) {
   return util::Status::Ok();
 }
 
+void FaultInjector::CountCorruptRejected() {
+  Bump(&counters_.corrupt_rejected, &FaultMetrics::corrupt_rejected);
+}
+
+void FaultInjector::CountDroppedStraggler() {
+  Bump(&counters_.dropped_stragglers, &FaultMetrics::dropped_stragglers);
+}
+
+void FaultInjector::CountFallback() {
+  Bump(&counters_.fallbacks, &FaultMetrics::fallbacks);
+}
+
 TransferResult FaultInjector::Transfer(int src, int dst, int64_t bytes,
                                        const Topology& topology,
                                        TrafficAccountant* traffic) {
@@ -128,8 +191,8 @@ TransferResult FaultInjector::Transfer(int src, int dst, int64_t bytes,
     if (result.seconds + attempt_seconds > config_.transfer_deadline_s) {
       // Not enough deadline left for another attempt: the sender waits out
       // the deadline and gives up. Bytes already spent stay charged.
-      ++counters_.deadline_aborts;
-      ++counters_.aborted_transfers;
+      Bump(&counters_.deadline_aborts, &FaultMetrics::deadline_aborts);
+      Bump(&counters_.aborted_transfers, &FaultMetrics::aborted_transfers);
       result.seconds = config_.transfer_deadline_s;
       result.status = util::Status::DeadlineExceeded(
           "transfer " + std::to_string(src) + "->" + std::to_string(dst) +
@@ -138,7 +201,7 @@ TransferResult FaultInjector::Transfer(int src, int dst, int64_t bytes,
     }
 
     ++result.attempts;
-    ++counters_.attempts;
+    Bump(&counters_.attempts, &FaultMetrics::attempts);
     result.seconds += attempt_seconds;
     // A failed attempt still pushed the full payload into the network: the
     // bytes are spent whether or not the far end got them.
@@ -151,17 +214,17 @@ TransferResult FaultInjector::Transfer(int src, int dst, int64_t bytes,
       if (config_.corruption_prob > 0.0 &&
           rng_.Bernoulli(config_.corruption_prob)) {
         result.corrupted = true;
-        ++counters_.corrupted;
+        Bump(&counters_.corrupted, &FaultMetrics::corrupted);
       }
       return result;
     }
-    ++counters_.failures;
+    Bump(&counters_.failures, &FaultMetrics::failures);
     if (attempt + 1 < max_attempts) {
-      ++counters_.retries;
+      Bump(&counters_.retries, &FaultMetrics::retries);
       result.seconds += config_.backoff_base_s * static_cast<double>(1 << attempt);
     }
   }
-  ++counters_.aborted_transfers;
+  Bump(&counters_.aborted_transfers, &FaultMetrics::aborted_transfers);
   result.status = util::Status::Unavailable(
       "transfer " + std::to_string(src) + "->" + std::to_string(dst) +
       " failed after " + std::to_string(max_attempts) + " attempts");

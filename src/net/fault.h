@@ -127,7 +127,15 @@ class FaultInjector {
                           TrafficAccountant* traffic);
 
   const FaultCounters& counters() const { return counters_; }
-  FaultCounters* mutable_counters() { return &counters_; }
+
+  // Fault outcomes detected by the *receiver* (checksum rejects, uploads
+  // past the aggregation deadline, server fallbacks) are reported back here
+  // so every counter mutation flows through the injector — the struct stays
+  // the per-run snapshot while the obs registry mirrors each increment as a
+  // live `net/fault_*` metric.
+  void CountCorruptRejected();
+  void CountDroppedStraggler();
+  void CountFallback();
 
   // Full injector state (RNG stream, counters, outage/straggler rolls) so a
   // resumed run replays the same fault trajectory bit-identically.

@@ -15,6 +15,9 @@
 #endif
 
 #include "nn/scratch.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -41,6 +44,39 @@ int ResolveThreadsLocked() {
     g_intra_op_threads = threads;
   }
   return g_intra_op_threads;
+}
+
+// -------------------------------------------------------------- telemetry --
+
+// GEMM call/FLOP counters batch in a thread-local tally: parallel client
+// threads issue tens of thousands of small GEMMs per epoch, and a shared
+// fetch_add per call turns into cache-line ping-pong that alone can blow
+// the <2% telemetry budget (DESIGN.md §11). Each thread publishes into the
+// registry every kGemmTallyFlush calls, so registry reads lag a live thread
+// by at most kGemmTallyFlush - 1 calls.
+struct GemmTally {
+  int64_t calls = 0;
+  int64_t flops = 0;
+};
+thread_local GemmTally t_gemm_tally;
+constexpr int64_t kGemmTallyFlush = 512;
+
+void FlushGemmTally(GemmTally* tally) {
+  static obs::Counter* gemm_calls =
+      obs::Registry::Default().GetCounter("nn/gemm_calls");
+  static obs::Counter* gemm_flops =
+      obs::Registry::Default().GetCounter("nn/gemm_flops");
+  gemm_calls->Add(tally->calls);
+  gemm_flops->Add(tally->flops);
+  tally->calls = 0;
+  tally->flops = 0;
+}
+
+inline void BumpGemmTally(int64_t flops) {
+  GemmTally& tally = t_gemm_tally;
+  ++tally.calls;
+  tally.flops += flops;
+  if (tally.calls >= kGemmTallyFlush) FlushGemmTally(&tally);
 }
 
 // ----------------------------------------------------------- micro-kernel --
@@ -235,6 +271,17 @@ void Sgemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
     }
     return;
   }
+  // FLOP accounting is per-call; the wall-clock histogram only kicks in
+  // above a work threshold so small GEMMs (DRL scoring, 1×F rows) never
+  // pay for a clock read.
+  constexpr int64_t kTimedFlopThreshold = int64_t{1} << 20;
+  const int64_t flops = 2ll * m * n * k;
+  int64_t start_ns = 0;
+  if (obs::Telemetry::enabled()) {
+    BumpGemmTally(flops);
+    if (flops >= kTimedFlopThreshold) start_ns = obs::MonotonicNowNs();
+  }
+
   const MicroKernelFn micro = MicroKernel().fn;
   const int n_panels = (n + kNR - 1) / kNR;
 
@@ -288,6 +335,14 @@ void Sgemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
       }
     }
   });
+
+  if (start_ns != 0) {
+    static obs::Histogram* gemm_ms = obs::Registry::Default().GetHistogram(
+        obs::Registry::LabeledName("nn/gemm_ms",
+                                   {{"kernel", GemmKernelName()}}));
+    gemm_ms->Observe(static_cast<double>(obs::MonotonicNowNs() - start_ns) *
+                     1e-6);
+  }
 }
 
 }  // namespace fedmigr::nn

@@ -5,6 +5,8 @@
 
 #include "nn/gemm.h"
 #include "nn/scratch.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 
 namespace fedmigr::nn {
@@ -115,6 +117,14 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& kernel,
 
   const int kcols = cin * kh * kw;  // GEMM reduction depth
   const int ohw = oh * ow;
+  if (obs::Telemetry::enabled()) {
+    static obs::Counter* conv_calls =
+        obs::Registry::Default().GetCounter("nn/conv_calls");
+    static obs::Counter* conv_flops =
+        obs::Registry::Default().GetCounter("nn/conv_flops");
+    conv_calls->Increment();
+    conv_flops->Add(2ll * batch * cout * ohw * kcols);
+  }
   const int64_t in_img = static_cast<int64_t>(cin) * h * w;
   const int64_t out_img = static_cast<int64_t>(cout) * ohw;
   const float* in = input.data();
@@ -160,6 +170,15 @@ void Conv2dBackward(const Tensor& input, const Tensor& kernel, int pad,
 
   const int kcols = cin * kh * kw;
   const int ohw = oh * ow;
+  if (obs::Telemetry::enabled()) {
+    static obs::Counter* conv_calls =
+        obs::Registry::Default().GetCounter("nn/conv_calls");
+    static obs::Counter* conv_flops =
+        obs::Registry::Default().GetCounter("nn/conv_flops");
+    conv_calls->Increment();
+    // Two GEMMs per image (kernel gradient + input gradient).
+    conv_flops->Add(4ll * batch * cout * ohw * kcols);
+  }
   const int64_t in_img = static_cast<int64_t>(cin) * h * w;
   const int64_t out_img = static_cast<int64_t>(cout) * ohw;
   const float* in = input.data();

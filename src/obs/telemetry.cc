@@ -1,0 +1,9 @@
+#include "obs/telemetry.h"
+
+namespace fedmigr::obs {
+
+#if FEDMIGR_TELEMETRY
+std::atomic<bool> Telemetry::enabled_{true};
+#endif
+
+}  // namespace fedmigr::obs

@@ -5,6 +5,9 @@
 
 #include "nn/serialize.h"
 #include "nn/zoo.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace fedmigr::rl {
@@ -105,6 +108,7 @@ double DdpgAgent::Q(const std::vector<float>& features, bool use_target) {
 }
 
 TrainStats DdpgAgent::Train(PrioritizedReplayBuffer* buffer, util::Rng* rng) {
+  FEDMIGR_TRACE_SCOPE("rl/train_step");
   TrainStats stats;
   if (buffer->size() < static_cast<size_t>(config_.batch_size)) return stats;
 
@@ -211,6 +215,24 @@ TrainStats DdpgAgent::Train(PrioritizedReplayBuffer* buffer, util::Rng* rng) {
   stats.critic_loss = critic_loss / n;
   stats.mean_td_error = td_sum / n;
   stats.mean_q = q_sum / n;
+
+  if (obs::Telemetry::enabled()) {
+    static obs::Counter* train_steps =
+        obs::Registry::Default().GetCounter("rl/train_steps");
+    static obs::Gauge* critic_loss_gauge =
+        obs::Registry::Default().GetGauge("rl/critic_loss");
+    static obs::Gauge* td_error_gauge =
+        obs::Registry::Default().GetGauge("rl/mean_td_error");
+    static obs::Gauge* mean_q_gauge =
+        obs::Registry::Default().GetGauge("rl/mean_q");
+    static obs::Gauge* replay_size =
+        obs::Registry::Default().GetGauge("rl/replay_size");
+    train_steps->Increment();
+    critic_loss_gauge->Set(stats.critic_loss);
+    td_error_gauge->Set(stats.mean_td_error);
+    mean_q_gauge->Set(stats.mean_q);
+    replay_size->Set(static_cast<double>(buffer->size()));
+  }
   return stats;
 }
 

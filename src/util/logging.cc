@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +33,12 @@ const char* LevelTag(LogLevel level) {
   return "?????";
 }
 
+// Guarded by OutputMutex().
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
+
 void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
   using Clock = std::chrono::system_clock;
   const auto now = Clock::now().time_since_epoch();
@@ -42,16 +49,49 @@ void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
+  char prefix[256];
+  std::snprintf(prefix, sizeof(prefix), "[%s %lld.%03lld %s:%d] ",
+                LevelTag(level), static_cast<long long>(ms / 1000),
+                static_cast<long long>(ms % 1000), base, line);
   std::lock_guard<std::mutex> lock(OutputMutex());
-  std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LevelTag(level),
-               static_cast<long long>(ms / 1000),
-               static_cast<long long>(ms % 1000), base, line, msg.c_str());
+  LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(level, prefix + msg);
+  } else {
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+  }
 }
 
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(OutputMutex());
+  SinkSlot() = std::move(sink);
+}
 
 namespace internal_logging {
 

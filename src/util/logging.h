@@ -7,6 +7,7 @@
 #ifndef FEDMIGR_UTIL_LOGGING_H_
 #define FEDMIGR_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -22,6 +23,17 @@ enum class LogLevel {
 // Global severity threshold; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses "debug"/"info"/"warning"/"error" (case-insensitive; "warn" also
+// accepted). Returns false and leaves `out` untouched on unknown input.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+// Redirects formatted log lines (sans trailing newline) to `sink` instead
+// of stderr; pass nullptr to restore stderr. The sink runs under the same
+// mutex that serializes stderr emission, so it must not log. Intended for
+// tests and telemetry capture.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+void SetLogSink(LogSink sink);
 
 namespace internal_logging {
 

@@ -56,4 +56,18 @@ double Percentile(std::vector<double> values, double p) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.mean = Mean(values);
+  s.min = values.front();
+  s.max = values.back();
+  s.p50 = Percentile(values, 50.0);
+  s.p90 = Percentile(values, 90.0);
+  s.p99 = Percentile(values, 99.0);
+  return s;
+}
+
 }  // namespace fedmigr::util

@@ -1,5 +1,9 @@
 #include "util/logging.h"
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace fedmigr::util {
@@ -38,6 +42,77 @@ TEST(LoggingTest, EmittedMessageDoesNotCrash) {
   FEDMIGR_LOG(kError) << "visible test message, ignore";
   SetLogLevel(before);
   SUCCEED();
+}
+
+TEST(LoggingTest, SinkCapturesEmittedLines) {
+  std::vector<std::string> lines;
+  std::vector<LogLevel> levels;
+  SetLogSink([&](LogLevel level, const std::string& line) {
+    levels.push_back(level);
+    lines.push_back(line);
+  });
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  FEDMIGR_LOG(kWarning) << "captured " << 7;
+  SetLogLevel(LogLevel::kError);
+  FEDMIGR_LOG(kInfo) << "filtered, never reaches the sink";
+  SetLogLevel(before);
+  SetLogSink(nullptr);  // back to stderr
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(levels[0], LogLevel::kWarning);
+  // Prefix carries tag and call site; body is the streamed message.
+  EXPECT_NE(lines[0].find("WARN"), std::string::npos);
+  EXPECT_NE(lines[0].find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(lines[0].find("captured 7"), std::string::npos);
+}
+
+TEST(LoggingTest, SinkSeesWholeLinesUnderConcurrency) {
+  std::vector<std::string> lines;  // sink runs under the output mutex
+  SetLogSink(
+      [&](LogLevel, const std::string& line) { lines.push_back(line); });
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        FEDMIGR_LOG(kInfo) << "thread " << t << " line " << i << " end";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  SetLogLevel(before);
+  SetLogSink(nullptr);
+
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("thread "), std::string::npos);
+    EXPECT_EQ(line.substr(line.size() - 4), " end");  // never torn
+  }
+}
+
+TEST(ParseLogLevelTest, AcceptsKnownNamesCaseInsensitively) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, RejectsUnknownNames) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // untouched on failure
 }
 
 TEST(LoggingDeathTest, CheckFailureAborts) {

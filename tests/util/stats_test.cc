@@ -86,5 +86,38 @@ TEST(PercentileTest, Interpolates) {
   EXPECT_DOUBLE_EQ(Percentile({4.0, 3.0, 2.0, 1.0}, 50.0), 2.5);
 }
 
+TEST(SummarizeTest, EmptyIsAllZeros) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p90, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(SummarizeTest, MatchesComponentHelpers) {
+  const std::vector<double> values = {5.0, 1.0, 9.0, 3.0, 7.0};
+  const Summary s = Summarize(values);
+  EXPECT_EQ(s.count, values.size());
+  EXPECT_DOUBLE_EQ(s.mean, Mean(values));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p50, Percentile(values, 50.0));
+  EXPECT_DOUBLE_EQ(s.p90, Percentile(values, 90.0));
+  EXPECT_DOUBLE_EQ(s.p99, Percentile(values, 99.0));
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const Summary s = Summarize({4.25});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.25);
+  EXPECT_DOUBLE_EQ(s.min, 4.25);
+  EXPECT_DOUBLE_EQ(s.max, 4.25);
+  EXPECT_DOUBLE_EQ(s.p50, 4.25);
+  EXPECT_DOUBLE_EQ(s.p99, 4.25);
+}
+
 }  // namespace
 }  // namespace fedmigr::util

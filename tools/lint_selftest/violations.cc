@@ -3,6 +3,9 @@
 // line is a self-test failure (false positive). This file is a fixture —
 // it is never compiled or linked.
 
+#include <sys/time.h>
+
+#include <chrono>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -67,6 +70,20 @@ void TearProneWrite(const char* path) {
 void StreamWrite(const char* path) {
   std::ofstream out(path);  // LINT-EXPECT: raw-file-write
   out << "metrics";
+}
+
+// --- wallclock -------------------------------------------------------------
+
+long HostTimeLeak() {
+  const auto wall = std::chrono::steady_clock::now();  // LINT-EXPECT: wallclock
+  (void)std::chrono::system_clock::now();  // LINT-EXPECT: wallclock
+  using Clock = std::chrono::high_resolution_clock;  // LINT-EXPECT: wallclock
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // LINT-EXPECT: wallclock
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);  // LINT-EXPECT: wallclock
+  return wall.time_since_epoch().count() + Clock::duration::period::den +
+         ts.tv_sec + tv.tv_sec;
 }
 
 // --- discarded-status ------------------------------------------------------
