@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   const bench::TelemetryFlags telemetry_flags =
       bench::ParseTelemetryFlags(argc, argv);
   bench::BeginTelemetry(telemetry_flags);
+  // Optional Byzantine overlay (--attack-mode/--attack-frac/--aggregator/
+  // --robust-profile): the sweep below then runs under adversarial uploads
+  // with the chosen defense. Without the flags nothing changes and the
+  // table stays byte-identical.
+  const bench::RobustFlags robust_flags = bench::ParseRobustFlags(argc, argv);
 
   const double failure_rates[] = {0.0, 0.05, 0.1, 0.2, 0.4};
   const char* schemes[] = {"fedavg", "randmigr", "fedmigr"};
@@ -37,6 +42,16 @@ int main(int argc, char** argv) {
       "(C10 analogue, LAN-correlated non-IID, %d epochs, agg every 5, "
       "retries=2 with backoff, server fallback on)\n\n",
       kEpochs);
+  if (robust_flags.any) {
+    std::printf(
+        "Byzantine overlay: attack=%s frac=%.2f scale=%.1f aggregator=%s "
+        "screening=%s quarantine=%s\n\n",
+        net::AttackModeName(robust_flags.attack_mode),
+        robust_flags.attack_fraction, robust_flags.attack_scale,
+        fl::AggregatorKindName(robust_flags.robust.aggregator),
+        robust_flags.robust.screening.active() ? "on" : "off",
+        robust_flags.robust.reputation.enabled ? "on" : "off");
+  }
   util::TableWriter table({"scheme", "p(fail)", "acc (%)", "traffic (GB)",
                            "time (s)", "attempts", "failures", "retries",
                            "fallbacks", "aborted"});
@@ -46,6 +61,7 @@ int main(int argc, char** argv) {
       run.max_epochs = kEpochs;
       run.eval_every = 20;
       run.fault.link_failure_prob = rate;
+      robust_flags.ApplyTo(&run);
       const fl::RunResult result = bench::RunBench(workload, scheme, run);
       table.AddRow();
       table.AddCell(scheme);

@@ -1,0 +1,163 @@
+// Robust aggregation — accuracy under Byzantine uploads, per aggregation
+// rule, plus the screening/quarantine defense pipeline.
+//
+// Not a figure of the paper: the paper assumes honest clients, but FedMigr's
+// C2C migrations make poisoning *worse* than in plain FedAvg — a tampered
+// replica migrates to honest clients and contaminates the lineage. Two
+// sweeps:
+//
+//   1. Aggregator x attack fraction (sign-flip by default) on FedAvg, where
+//      every round is an aggregation: the weighted mean degrades with the
+//      attacker mass while trimmed-mean / median / Krum hold their
+//      clean-run accuracy as long as f stays a minority.
+//   2. Attack mode x defense profile at a fixed fraction on FedMigr, where
+//      migration spreads the poison between aggregations: the "defense"
+//      profile (screening + reputation) rejects tampered uploads and
+//      quarantines their senders — which is also what stops a poisoned
+//      replica from migrating. The table shows what got caught and how
+//      many rounds the first quarantine took.
+//
+// Flags: --quick trims the sweep for CI smoke; --attack-mode/--attack-scale
+// override the tampering used in sweep 1 (see bench::RobustFlags).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "common.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace {
+
+// Earliest aggregation round (1-based) any client entered quarantine; -1 if
+// nobody was quarantined.
+int FirstQuarantineRound(const fedmigr::fl::RunResult& result) {
+  int first = -1;
+  for (int round : result.first_quarantine_round) {
+    if (round >= 0 && (first < 0 || round < first)) first = round;
+  }
+  return first;
+}
+
+int QuarantinedClients(const fedmigr::fl::RunResult& result) {
+  int count = 0;
+  for (int round : result.first_quarantine_round) {
+    if (round >= 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedmigr;
+
+  const bench::TelemetryFlags telemetry_flags =
+      bench::ParseTelemetryFlags(argc, argv);
+  bench::BeginTelemetry(telemetry_flags);
+  const bench::RobustFlags robust_flags = bench::ParseRobustFlags(argc, argv);
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const net::AttackMode sweep_mode =
+      robust_flags.attack_mode == net::AttackMode::kNone
+          ? net::AttackMode::kSignFlip
+          : robust_flags.attack_mode;
+  const int epochs = quick ? 20 : 60;
+  std::vector<double> fractions = quick
+                                      ? std::vector<double>{0.0, 0.2}
+                                      : std::vector<double>{0.0, 0.1, 0.2, 0.3};
+  std::vector<fl::AggregatorKind> aggregators =
+      quick ? std::vector<fl::AggregatorKind>{fl::AggregatorKind::kMean,
+                                              fl::AggregatorKind::kTrimmedMean,
+                                              fl::AggregatorKind::kKrum}
+            : std::vector<fl::AggregatorKind>{
+                  fl::AggregatorKind::kMean, fl::AggregatorKind::kTrimmedMean,
+                  fl::AggregatorKind::kCoordinateMedian,
+                  fl::AggregatorKind::kKrum, fl::AggregatorKind::kMultiKrum};
+
+  bench::BenchWorkloadOptions workload_options;
+  workload_options.partition = core::PartitionKind::kLanShard;
+  const core::Workload workload = bench::MakeBenchWorkload(workload_options);
+
+  std::printf(
+      "Robust aggregation: accuracy vs Byzantine fraction, per rule\n"
+      "(C10 analogue, LAN-correlated non-IID, %d epochs, fedavg — every "
+      "round aggregates,\nattack=%s scale=%.1f)\n\n",
+      epochs, net::AttackModeName(sweep_mode), robust_flags.attack_scale);
+
+  util::TableWriter sweep({"aggregator", "attack frac", "acc (%)", "attacked",
+                           "screened"});
+  for (fl::AggregatorKind kind : aggregators) {
+    for (double fraction : fractions) {
+      bench::BenchRunOptions run;
+      run.max_epochs = epochs;
+      run.eval_every = 20;
+      run.fault.attack_mode = fraction > 0.0 ? sweep_mode
+                                             : net::AttackMode::kNone;
+      run.fault.attack_fraction = fraction;
+      run.fault.attack_scale = robust_flags.attack_scale;
+      run.robust.aggregator = kind;
+      const fl::RunResult result = bench::RunBench(workload, "fedavg", run);
+      sweep.AddRow();
+      sweep.AddCell(fl::AggregatorKindName(kind));
+      sweep.AddCell(fraction, 2);
+      sweep.AddCell(100.0 * result.final_accuracy, 1);
+      sweep.AddCell(static_cast<int>(result.robust.attacked_updates));
+      sweep.AddCell(static_cast<int>(result.robust.screened_updates));
+    }
+  }
+  sweep.Print(std::cout);
+
+  // Sweep 2: the full defense pipeline against every attack mode. Mean
+  // aggregation on purpose — the point is that screening + quarantine alone
+  // rescue even the fragile rule.
+  const net::AttackMode modes[] = {
+      net::AttackMode::kSignFlip, net::AttackMode::kGaussianNoise,
+      net::AttackMode::kScaledModel, net::AttackMode::kSilentCorruption,
+      net::AttackMode::kNanInjection};
+  std::printf(
+      "\nDefense pipeline (profile=defense: screening + quarantine, mean "
+      "aggregation,\n20%% attackers):\n\n");
+  util::TableWriter defense({"attack", "acc (%)", "rejected", "clipped",
+                             "quarantined", "first q round", "excluded"});
+  for (net::AttackMode mode : modes) {
+    bench::BenchRunOptions run;
+    run.max_epochs = epochs;
+    run.eval_every = 20;
+    run.fault.attack_mode = mode;
+    run.fault.attack_fraction = 0.2;
+    run.fault.attack_scale = robust_flags.attack_scale;
+    FEDMIGR_CHECK(fl::ParseRobustProfile("defense", &run.robust));
+    const fl::RunResult result = bench::RunBench(workload, "fedmigr", run);
+    const int64_t rejected = result.robust.nonfinite_rejected +
+                             result.robust.norm_rejected +
+                             result.robust.cosine_rejected;
+    defense.AddRow();
+    defense.AddCell(net::AttackModeName(mode));
+    defense.AddCell(100.0 * result.final_accuracy, 1);
+    defense.AddCell(static_cast<int>(rejected));
+    defense.AddCell(static_cast<int>(result.robust.norm_clipped));
+    defense.AddCell(QuarantinedClients(result));
+    defense.AddCell(FirstQuarantineRound(result));
+    defense.AddCell(static_cast<int>(result.robust.quarantine_excluded));
+  }
+  defense.Print(std::cout);
+
+  std::printf(
+      "\nReading: frac=0 rows match the attack-free path bit-for-bit; under "
+      "sign-flip\nthe weighted mean collapses to chance at any attacker "
+      "fraction while the robust\nrules degrade gracefully (Krum holds "
+      "through 30%%). The defense pipeline catches\ndirection-reversing and "
+      "non-finite tampering at ingest and quarantines the\nsenders within "
+      "patience rounds; additive-noise tampering that stays\ndirectionally "
+      "plausible evades the cosine gate — pair a robust rule with the\n"
+      "screen for those modes.\n");
+  bench::FinishTelemetry(telemetry_flags);
+  return 0;
+}

@@ -56,6 +56,7 @@ fl::SchemeSetup MakeBenchScheme(const std::string& name,
   setup.config.budget = options.budget;
   setup.config.dp = options.dp;
   setup.config.fault = options.fault;
+  setup.config.robust = options.robust;
   setup.config.seed = options.seed;
   return setup;
 }
@@ -132,6 +133,51 @@ TelemetryFlags ParseTelemetryFlags(int argc, char** argv) {
     }
   }
   return flags;
+}
+
+RobustFlags ParseRobustFlags(int argc, char** argv) {
+  RobustFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue(argv[i], "--attack-mode=")) {
+      if (net::ParseAttackMode(v, &flags.attack_mode)) {
+        flags.any = true;
+      } else {
+        FEDMIGR_LOG(kWarning)
+            << "unknown --attack-mode '" << v
+            << "' (want none|sign-flip|gaussian|scale|silent|nan)";
+      }
+    } else if (const char* v = FlagValue(argv[i], "--attack-frac=")) {
+      flags.attack_fraction = std::atof(v);
+      flags.any = true;
+    } else if (const char* v = FlagValue(argv[i], "--attack-scale=")) {
+      flags.attack_scale = std::atof(v);
+      flags.any = true;
+    } else if (const char* v = FlagValue(argv[i], "--aggregator=")) {
+      if (fl::ParseAggregatorKind(v, &flags.robust.aggregator)) {
+        flags.any = true;
+      } else {
+        FEDMIGR_LOG(kWarning)
+            << "unknown --aggregator '" << v
+            << "' (want mean|trimmed-mean|median|krum|multi-krum)";
+      }
+    } else if (const char* v = FlagValue(argv[i], "--robust-profile=")) {
+      if (fl::ParseRobustProfile(v, &flags.robust)) {
+        flags.any = true;
+      } else {
+        FEDMIGR_LOG(kWarning) << "unknown --robust-profile '" << v
+                              << "' (want off|screen|defense)";
+      }
+    }
+  }
+  return flags;
+}
+
+void RobustFlags::ApplyTo(BenchRunOptions* options) const {
+  if (!any) return;
+  options->fault.attack_mode = attack_mode;
+  options->fault.attack_fraction = attack_fraction;
+  options->fault.attack_scale = attack_scale;
+  options->robust = robust;
 }
 
 void BeginTelemetry(const TelemetryFlags& flags) {

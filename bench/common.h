@@ -17,6 +17,7 @@
 #include "core/fedmigr.h"
 #include "core/snapshot.h"
 #include "dp/gaussian.h"
+#include "fl/robust.h"
 #include "fl/schemes.h"
 #include "net/budget.h"
 #include "net/fault.h"
@@ -47,6 +48,8 @@ struct BenchRunOptions {
   dp::DpConfig dp;
   // Fault model for the run (default: disabled, the fault-free path).
   net::FaultConfig fault;
+  // Robustness layer (default: inert, the legacy bit-identical path).
+  fl::RobustConfig robust;
   uint64_t seed = 1;
 };
 
@@ -106,6 +109,26 @@ struct TelemetryFlags {
 };
 
 TelemetryFlags ParseTelemetryFlags(int argc, char** argv);
+
+// Robustness flags shared by the bench binaries:
+//   --attack-mode=M      none | sign-flip | gaussian | scale | silent | nan
+//   --attack-frac=F      fraction of clients Byzantine (persistent set)
+//   --attack-scale=S     noise stddev / scale multiplier (default 8)
+//   --aggregator=A       mean | trimmed-mean | median | krum | multi-krum
+//   --robust-profile=P   off | screen | defense
+// With none of these present `any` stays false and ApplyTo is a no-op, so
+// existing bench tables remain byte-identical.
+struct RobustFlags {
+  net::AttackMode attack_mode = net::AttackMode::kNone;
+  double attack_fraction = 0.0;
+  double attack_scale = 8.0;
+  fl::RobustConfig robust;
+  bool any = false;
+
+  void ApplyTo(BenchRunOptions* options) const;
+};
+
+RobustFlags ParseRobustFlags(int argc, char** argv);
 
 // Applies --log-level and starts the trace recorder if --trace-out was
 // given. Call once before the timed work.

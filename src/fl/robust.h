@@ -1,0 +1,292 @@
+// Byzantine-robust aggregation, update screening and client quarantine.
+//
+// Defense-in-depth between client uploads and the global model, motivated
+// by FedMigr's unique exposure: a poisoned model is not just one bad term
+// in one round's mean — it can be *migrated* C2C and trained on by honest
+// clients, contaminating the whole lineage. Three layers:
+//
+//   1. Aggregator — pluggable aggregation rule. `Mean` is bit-identical to
+//      the legacy weighted FedAvg path; `TrimmedMean`, `CoordinateMedian`
+//      and `Krum`/`MultiKrum` bound the influence of up to f adversarial
+//      uploads at increasing cost in statistical efficiency.
+//   2. Update screening — per-upload gate at ingest: non-finite rejection
+//      (always on; one NaN coordinate would otherwise brick the mean
+//      permanently), L2 clipping of the update delta, an adaptive norm
+//      outlier test against the round median, and a cosine-similarity
+//      anomaly score against the last aggregate.
+//   3. Reputation — per-client state machine
+//         healthy -> suspect -> quarantined -> rehabilitating -> healthy
+//      fed by screening verdicts. Quarantined clients are masked out of
+//      the DRL/FLMM action space (via the PR 1 crash-mask plumbing) and
+//      excluded as migration sources *and* targets, which is what stops
+//      lineage contamination.
+//
+// The all-defaults RobustConfig is inert: Mean aggregation, no screening
+// beyond the non-finite gate, no reputation — the trainer follows exactly
+// the legacy code path and produces bit-identical results.
+//
+// Counters follow the FaultCounters contract: every mutation flows through
+// the Count*/Report* funnels in robust.cc (enforced by fedmigr_lint's
+// counter-mutation rule), which also mirror each increment into the obs
+// registry as live `fl/robust_*` metrics.
+
+#ifndef FEDMIGR_FL_ROBUST_H_
+#define FEDMIGR_FL_ROBUST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "util/status.h"
+
+namespace fedmigr::fl {
+
+// ---------------------------------------------------------------------------
+// Aggregators
+// ---------------------------------------------------------------------------
+
+enum class AggregatorKind {
+  kMean = 0,
+  kTrimmedMean,
+  kCoordinateMedian,
+  kKrum,
+  kMultiKrum,
+};
+
+// "mean" | "trimmed-mean" | "median" | "krum" | "multi-krum".
+bool ParseAggregatorKind(const std::string& name, AggregatorKind* kind);
+const char* AggregatorKindName(AggregatorKind kind);
+
+struct AggregatorOptions {
+  // TrimmedMean: fraction trimmed from *each* end per coordinate; the
+  // effective trim count is min(floor(trim_fraction * n), (n - 1) / 2).
+  double trim_fraction = 0.2;
+  // Krum/MultiKrum: assumed number of Byzantine uploads f. -1 derives the
+  // largest f the selection tolerates, floor((n - 3) / 2).
+  int assumed_attackers = -1;
+  // MultiKrum: number of best-scoring uploads averaged.
+  int multi_krum_m = 3;
+};
+
+// Aggregation rule: writes the aggregate of `models` into `out`. `weights`
+// are per-model sample counts; Mean uses them (bit-identical to the legacy
+// weighted FedAvg), the robust rules deliberately ignore them — a sample
+// count is attacker-controlled metadata, and weighting by it would hand a
+// Byzantine client a free influence multiplier.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual void Aggregate(const std::vector<const nn::Sequential*>& models,
+                         const std::vector<double>& weights,
+                         nn::Sequential* out) const = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<Aggregator> MakeAggregator(
+    AggregatorKind kind, const AggregatorOptions& options = {});
+
+// The weighted-mean kernel shared by Server::WeightedAverage and the Mean
+// aggregator — one implementation, so the two are bit-identical.
+void WeightedMean(const std::vector<const nn::Sequential*>& models,
+                  const std::vector<double>& weights, nn::Sequential* out);
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+// Per-run robustness counters surfaced in RunResult / bench tables. On an
+// inert config everything except `screened_updates` stays zero (the
+// non-finite gate is always on, so every upload is screened). Mutate only
+// through the funnels below (fedmigr_lint: counter-mutation).
+struct RobustCounters {
+  int64_t screened_updates = 0;     // uploads that entered the screen
+  int64_t nonfinite_rejected = 0;   // dropped: NaN/Inf coordinates
+  int64_t norm_clipped = 0;         // kept, update delta L2-clipped
+  int64_t norm_rejected = 0;        // dropped: delta-norm outlier
+  int64_t cosine_rejected = 0;      // dropped: cosine anomaly vs aggregate
+  int64_t attacked_updates = 0;     // models tampered by the injector
+  int64_t quarantine_excluded = 0;  // uploads skipped while quarantined
+  int64_t quarantines = 0;          // transitions into quarantine
+  int64_t rehabilitations = 0;      // rehabilitating -> healthy transitions
+};
+
+void CountScreenedUpdate(RobustCounters* counters);
+void CountNonFiniteRejected(RobustCounters* counters);
+void CountNormClipped(RobustCounters* counters);
+void CountNormRejected(RobustCounters* counters);
+void CountCosineRejected(RobustCounters* counters);
+void CountAttackedUpdate(RobustCounters* counters);
+void CountQuarantineExcluded(RobustCounters* counters);
+
+void SaveRobustCounters(const RobustCounters& counters,
+                        util::ByteWriter* writer);
+util::Status LoadRobustCounters(util::ByteReader* reader,
+                                RobustCounters* counters);
+
+// ---------------------------------------------------------------------------
+// Update screening
+// ---------------------------------------------------------------------------
+
+struct ScreeningConfig {
+  // L2 bound on the update delta ||w - w_ref||; a longer update is scaled
+  // back onto the ball (kept, counted as clipped). 0 disables.
+  double clip_norm = 0.0;
+  // Adaptive outlier rejection: drop an update whose delta norm exceeds
+  // factor * median(delta norms of the round). 0 disables.
+  double norm_reject_factor = 0.0;
+  // Drop an update whose parameter vector's cosine similarity against the
+  // last aggregate falls below this. -1 disables (cosine is never < -1);
+  // sign-flipped models land at ~-1, honest updates at ~+1.
+  double cosine_reject_below = -1.0;
+
+  bool active() const {
+    return clip_norm > 0.0 || norm_reject_factor > 0.0 ||
+           cosine_reject_below > -1.0;
+  }
+};
+
+enum class ScreeningOutcome {
+  kAccepted = 0,
+  kClipped,        // accepted after L2 clipping
+  kNonFinite,      // rejected: NaN/Inf coordinate
+  kNormOutlier,    // rejected: delta-norm outlier
+  kCosineOutlier,  // rejected: cosine anomaly
+};
+
+struct ScreeningVerdict {
+  ScreeningOutcome outcome = ScreeningOutcome::kAccepted;
+  double update_norm = 0.0;  // ||w - w_ref|| before any clipping
+  double cosine = 1.0;       // cos(w, w_ref)
+
+  bool accepted() const {
+    return outcome == ScreeningOutcome::kAccepted ||
+           outcome == ScreeningOutcome::kClipped;
+  }
+  // A flagged upload feeds the reputation machine.
+  bool flagged() const { return !accepted(); }
+};
+
+// Screens `models` against `reference` (the last aggregate). Survivors are
+// appended to `out_models`/`out_weights`; a clipped survivor is
+// materialized into `clipped_storage`, which the caller must keep alive
+// until aggregation is done. The non-finite gate always runs; the other
+// rules follow `config`. Counter mutations flow through the funnels above.
+std::vector<ScreeningVerdict> ScreenUpdates(
+    const ScreeningConfig& config,
+    const std::vector<const nn::Sequential*>& models,
+    const std::vector<double>& weights, const nn::Sequential& reference,
+    std::vector<const nn::Sequential*>* out_models,
+    std::vector<double>* out_weights,
+    std::vector<std::unique_ptr<nn::Sequential>>* clipped_storage,
+    RobustCounters* counters);
+
+// True when every parameter of `model` is finite.
+bool ParamsFinite(const nn::Sequential& model);
+
+// ---------------------------------------------------------------------------
+// Reputation / quarantine
+// ---------------------------------------------------------------------------
+
+enum class ReputationState {
+  kHealthy = 0,
+  kSuspect,
+  kQuarantined,
+  kRehabilitating,
+};
+
+const char* ReputationStateName(ReputationState state);
+
+struct ReputationConfig {
+  bool enabled = false;
+  // Flagged rounds (accumulated while suspect/rehabilitating) before
+  // quarantine, and clean-round streak required to step back to healthy.
+  // An always-flagged attacker is quarantined after exactly `patience`
+  // aggregation rounds; any client leaves suspect within patience^2 - 1
+  // rounds (strikes never reset inside suspect, so the state cannot be
+  // oscillated in forever).
+  int patience = 3;
+  // Rounds spent quarantined before rehabilitation begins.
+  int quarantine_rounds = 4;
+};
+
+// Per-client reputation driven by screening verdicts. One Report* call per
+// participating client per aggregation round, then one AdvanceRound().
+class ReputationTracker {
+ public:
+  ReputationTracker() = default;
+  ReputationTracker(const ReputationConfig& config, int num_clients);
+
+  bool enabled() const { return config_.enabled; }
+  int num_clients() const { return static_cast<int>(states_.size()); }
+  ReputationState state(int client) const;
+  // False only while quarantined: such clients neither upload nor appear
+  // in the DRL/FLMM action space nor serve as migration endpoints.
+  bool Eligible(int client) const;
+
+  void ReportClean(int client);
+  void ReportFlagged(int client, RobustCounters* counters);
+  // Round tick: quarantine countdowns, rehabilitation promotions. Call
+  // once per aggregation round, after all reports.
+  void AdvanceRound(RobustCounters* counters);
+
+  // Aggregation round (1-based) in which the client first entered
+  // quarantine; -1 if never. The bench's quarantine-latency column.
+  int first_quarantine_round(int client) const;
+
+  void SaveState(util::ByteWriter* writer) const;
+  util::Status LoadState(util::ByteReader* reader);
+
+ private:
+  struct ClientRecord {
+    ReputationState state = ReputationState::kHealthy;
+    int strikes = 0;          // flagged rounds since entering suspect
+    int clean_streak = 0;     // consecutive clean rounds in current state
+    int quarantine_left = 0;  // rounds remaining in quarantine
+    int first_quarantine_round = -1;
+  };
+
+  void Quarantine(ClientRecord* record, RobustCounters* counters);
+
+  ReputationConfig config_;
+  std::vector<ClientRecord> states_;
+  int round_ = 0;  // completed aggregation rounds
+};
+
+// ---------------------------------------------------------------------------
+// Config bundle + attack application
+// ---------------------------------------------------------------------------
+
+struct RobustConfig {
+  AggregatorKind aggregator = AggregatorKind::kMean;
+  AggregatorOptions aggregator_options;
+  ScreeningConfig screening;
+  ReputationConfig reputation;
+
+  // True when any defense beyond the always-on non-finite gate is active.
+  // Inactive == the trainer's legacy bit-identical path.
+  bool active() const {
+    return aggregator != AggregatorKind::kMean || screening.active() ||
+           reputation.enabled;
+  }
+};
+
+// Preset defense profiles for benches and CLI flags:
+//   "off"     — inert config (Mean, no screening, no quarantine)
+//   "screen"  — screening only (clip + norm outlier + cosine gate)
+//   "defense" — screening + reputation/quarantine
+bool ParseRobustProfile(const std::string& name, RobustConfig* config);
+
+// Applies Byzantine tampering in place (see net::AttackMode). `rng` is the
+// injector's dedicated attack stream so the tampering is deterministic and
+// replayed bit-identically on resume.
+void ApplyAttack(net::AttackMode mode, double scale, util::Rng* rng,
+                 nn::Sequential* model);
+
+}  // namespace fedmigr::fl
+
+#endif  // FEDMIGR_FL_ROBUST_H_

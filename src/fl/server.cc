@@ -13,31 +13,20 @@ Server::Server(nn::Sequential global_model, const data::Dataset* test)
 void Server::WeightedAverage(const std::vector<const nn::Sequential*>& models,
                              const std::vector<double>& weights,
                              nn::Sequential* out) {
-  FEDMIGR_CHECK(!models.empty());
-  FEDMIGR_CHECK_EQ(models.size(), weights.size());
-  double total = 0.0;
-  for (double w : weights) {
-    FEDMIGR_CHECK_GE(w, 0.0);
-    total += w;
-  }
-  FEDMIGR_CHECK_GT(total, 0.0);
+  WeightedMean(models, weights, out);
+}
 
-  auto out_params = out->Params();
-  for (nn::Tensor* p : out_params) p->Zero();
-  for (size_t m = 0; m < models.size(); ++m) {
-    const float alpha = static_cast<float>(weights[m] / total);
-    if (alpha == 0.0f) continue;
-    auto in_params = models[m]->Params();
-    FEDMIGR_CHECK_EQ(in_params.size(), out_params.size());
-    for (size_t p = 0; p < out_params.size(); ++p) {
-      out_params[p]->Axpy(alpha, *in_params[p]);
-    }
-  }
+void Server::SetAggregator(const Aggregator* aggregator) {
+  aggregator_ = aggregator;
 }
 
 void Server::Aggregate(const std::vector<const nn::Sequential*>& models,
                        const std::vector<double>& weights) {
-  WeightedAverage(models, weights, &global_model_);
+  if (aggregator_ != nullptr) {
+    aggregator_->Aggregate(models, weights, &global_model_);
+  } else {
+    WeightedMean(models, weights, &global_model_);
+  }
 }
 
 Evaluation Server::EvaluateGlobal(int batch_size) const {

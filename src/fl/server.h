@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "fl/robust.h"
 #include "nn/sequential.h"
 
 namespace fedmigr::fl {
@@ -24,13 +25,21 @@ class Server {
   nn::Sequential& global_model() { return global_model_; }
   const nn::Sequential& global_model() const { return global_model_; }
 
+  // Installs a non-owning aggregation rule used by Aggregate(); nullptr
+  // restores the default weighted FedAvg. The rule must outlive the server
+  // (the Trainer owns it alongside the server).
+  void SetAggregator(const Aggregator* aggregator);
+
   // w_g = sum_k (n_k / N) w_k over the given models. `weights` are the n_k
-  // (any non-negative scale); at least one must be positive.
+  // (any non-negative scale); at least one must be positive. With a custom
+  // aggregator installed, that rule decides instead (and may ignore the
+  // weights — see fl/robust.h).
   void Aggregate(const std::vector<const nn::Sequential*>& models,
                  const std::vector<double>& weights);
 
-  // Same weighted average into an arbitrary output model; used for the
+  // The legacy weighted average into an arbitrary output model; used for the
   // per-epoch "virtual aggregate" metric without touching server state.
+  // Delegates to the shared WeightedMean kernel in fl/robust.h.
   static void WeightedAverage(const std::vector<const nn::Sequential*>& models,
                               const std::vector<double>& weights,
                               nn::Sequential* out);
@@ -43,6 +52,7 @@ class Server {
  private:
   nn::Sequential global_model_;
   const data::Dataset* test_;
+  const Aggregator* aggregator_ = nullptr;  // non-owning; null = FedAvg
 };
 
 }  // namespace fedmigr::fl

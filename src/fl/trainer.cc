@@ -80,6 +80,17 @@ Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
   FEDMIGR_CHECK_LT(config_.dropout_prob, 1.0);
   participating_.assign(static_cast<size_t>(k), true);
   available_.assign(static_cast<size_t>(k), true);
+  eligible_.assign(static_cast<size_t>(k), true);
+
+  // Robustness layer. The Mean default installs nothing so the server runs
+  // the literal legacy aggregation path; a disabled ReputationTracker is a
+  // no-op whose Eligible() is always true.
+  if (config_.robust.aggregator != AggregatorKind::kMean) {
+    aggregator_ = MakeAggregator(config_.robust.aggregator,
+                                 config_.robust.aggregator_options);
+    server_->SetAggregator(aggregator_.get());
+  }
+  reputation_ = ReputationTracker(config_.robust.reputation, k);
 }
 
 void Trainer::ResampleParticipants() {
@@ -105,6 +116,11 @@ void Trainer::RollAvailability() {
                     (config_.dropout_prob == 0.0 ||
                      !rng_.Bernoulli(config_.dropout_prob)) &&
                     !faults_.IsCrashed(static_cast<int>(i));
+    // Quarantined clients are carved out of the migration action space the
+    // same way crashed ones are (the PR 1 crash-mask plumbing): policies
+    // only ever see `eligible_`.
+    eligible_[i] =
+        available_[i] && reputation_.Eligible(static_cast<int>(i));
   }
 }
 
@@ -153,6 +169,23 @@ double Trainer::LocalUpdatePhase(double* phase_seconds) {
       model_samples_[static_cast<size_t>(i)] += n;
     }
   }
+  // Byzantine tampering happens after the honest local update, in place, so
+  // a poisoned replica also contaminates any C2C migration of it — exactly
+  // the lineage-poisoning exposure fl/robust defends against. Applied
+  // serially (outside the ParallelFor) from the injector's dedicated attack
+  // stream: deterministic, thread-safe, invisible to the trainer RNG.
+  if (config_.fault.attacks_enabled()) {
+    for (int i = 0; i < k; ++i) {
+      if (!available_[static_cast<size_t>(i)] || !faults_.IsAttacker(i)) {
+        continue;
+      }
+      ApplyAttack(config_.fault.attack_mode, config_.fault.attack_scale,
+                  faults_.attack_rng(),
+                  &clients_[static_cast<size_t>(i)]->model());
+      CountAttackedUpdate(&robust_counters_);
+    }
+  }
+
   budget_.ConsumeTime(slowest);
   *phase_seconds = slowest;
   return total_samples > 0.0 ? loss_weighted / total_samples : 0.0;
@@ -174,6 +207,12 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
   for (int i = 0; i < k; ++i) {
     if (!participating_[static_cast<size_t>(i)]) continue;
     if (faulty && faults_.IsCrashed(i)) continue;
+    if (!reputation_.Eligible(i)) {
+      // Quarantined: the server refuses the upload outright — no transfer,
+      // no traffic, no seat in the aggregate.
+      CountQuarantineExcluded(&robust_counters_);
+      continue;
+    }
     ApplyDp(&clients_[static_cast<size_t>(i)]->model());
     const net::TransferResult res = faults_.Transfer(
         i, net::kServerId, model_bytes_, topology_, &traffic_);
@@ -202,15 +241,38 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
 
   std::vector<const nn::Sequential*> models;
   std::vector<double> weights;
+  std::vector<int> uploaders;
   models.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) {
     if (!arrived[static_cast<size_t>(i)]) continue;
     models.push_back(&clients_[static_cast<size_t>(i)]->model());
     weights.push_back(
         static_cast<double>(clients_[static_cast<size_t>(i)]->num_samples()));
+    uploaders.push_back(i);
   }
-  // If every upload was lost this round, the previous global model stands.
-  if (!models.empty()) server_->Aggregate(models, weights);
+  // Ingest screening against the last aggregate: the non-finite gate always
+  // runs (one NaN would brick the mean permanently); clipping and the
+  // norm/cosine outlier tests follow config_.robust. Verdicts feed the
+  // reputation machine; survivors are aggregated (through the installed
+  // robust rule, if any). If every upload was lost or rejected this round,
+  // the previous global model stands.
+  if (!models.empty()) {
+    std::vector<const nn::Sequential*> kept_models;
+    std::vector<double> kept_weights;
+    std::vector<std::unique_ptr<nn::Sequential>> clipped;
+    const std::vector<ScreeningVerdict> verdicts = ScreenUpdates(
+        config_.robust.screening, models, weights, server_->global_model(),
+        &kept_models, &kept_weights, &clipped, &robust_counters_);
+    for (size_t u = 0; u < uploaders.size(); ++u) {
+      if (verdicts[u].flagged()) {
+        reputation_.ReportFlagged(uploaders[u], &robust_counters_);
+      } else {
+        reputation_.ReportClean(uploaders[u]);
+      }
+    }
+    if (!kept_models.empty()) server_->Aggregate(kept_models, kept_weights);
+  }
+  reputation_.AdvanceRound(&robust_counters_);
   Evaluation eval;
   if (evaluate) {
     FEDMIGR_TRACE_SCOPE("fl/evaluate");
@@ -271,15 +333,19 @@ int Trainer::MigrationPhase(int epoch, double loss) {
   ctx.global_loss = loss;
   ctx.budget = &budget_;
   ctx.rng = &rng_;
-  ctx.available = &available_;
+  // Policies plan over `eligible_`: availability minus quarantine, so a
+  // quarantined client is out of the DRL/FLMM action space entirely.
+  ctx.available = &eligible_;
 
   MigrationPlan plan = policy_->Plan(ctx);
   FEDMIGR_CHECK_EQ(static_cast<int>(plan.incoming.size()), k);
-  // Unavailable clients neither send nor receive this epoch.
+  // Ineligible clients (unavailable or quarantined) neither send nor
+  // receive this epoch — a quarantined replica must not migrate, or its
+  // poison would outlive the quarantine.
   for (int j = 0; j < k; ++j) {
     const int src = plan.incoming[static_cast<size_t>(j)];
-    if (src != j && (!available_[static_cast<size_t>(j)] ||
-                     !available_[static_cast<size_t>(src)])) {
+    if (src != j && (!eligible_[static_cast<size_t>(j)] ||
+                     !eligible_[static_cast<size_t>(src)])) {
       plan.incoming[static_cast<size_t>(j)] = j;
     }
   }
@@ -341,10 +407,16 @@ Evaluation Trainer::VirtualEvaluation() {
   std::vector<const nn::Sequential*> models;
   std::vector<double> weights;
   for (int i = 0; i < k; ++i) {
+    // Quarantined replicas and non-finite models are measurement poison:
+    // one NaN coordinate would turn the whole virtual aggregate (and the
+    // reported accuracy) into NaN. Both gates are no-ops on a clean run.
+    if (!reputation_.Eligible(i)) continue;
+    if (!ParamsFinite(clients_[static_cast<size_t>(i)]->model())) continue;
     models.push_back(&clients_[static_cast<size_t>(i)]->model());
     weights.push_back(
         static_cast<double>(clients_[static_cast<size_t>(i)]->num_samples()));
   }
+  if (models.empty()) return server_->EvaluateGlobal(config_.batch_size * 2);
   nn::Sequential aggregate = server_->global_model();
   Server::WeightedAverage(models, weights, &aggregate);
   return server_->Evaluate(aggregate, config_.batch_size * 2);
@@ -493,6 +565,15 @@ RunResult Trainer::Run() {
   result_.c2c_gb = traffic_.c2c_gb();
   result_.traffic = traffic_;
   result_.faults = faults_.counters();
+  result_.robust = robust_counters_;
+  if (reputation_.enabled()) {
+    result_.first_quarantine_round.assign(static_cast<size_t>(num_clients()),
+                                          -1);
+    for (int i = 0; i < num_clients(); ++i) {
+      result_.first_quarantine_round[static_cast<size_t>(i)] =
+          reputation_.first_quarantine_round(i);
+    }
+  }
   if (obs::Telemetry::enabled()) {
     result_.metrics = obs::Registry::Default().Snapshot();
   }
@@ -502,7 +583,8 @@ RunResult Trainer::Run() {
 namespace {
 
 // Bumped whenever the trainer state layout changes.
-constexpr uint32_t kTrainerStateVersion = 1;
+// v2: robustness counters + reputation state appended after the policy blob.
+constexpr uint32_t kTrainerStateVersion = 2;
 
 void WriteEpochRecord(util::ByteWriter* writer, const EpochRecord& record) {
   writer->WriteI32(record.epoch);
@@ -582,6 +664,11 @@ void Trainer::SaveState(util::ByteWriter* writer) const {
   util::ByteWriter policy_writer;
   policy_->SaveState(&policy_writer);
   writer->WriteBytes(policy_writer.bytes());
+
+  // v2: robustness layer (counters + reputation). `eligible_` is derived
+  // state, recomputed from availability and reputation on load.
+  SaveRobustCounters(robust_counters_, writer);
+  reputation_.SaveState(writer);
 }
 
 util::Status Trainer::LoadState(util::ByteReader* reader) {
@@ -690,6 +777,11 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
   util::ByteReader policy_reader(policy_bytes);
   FEDMIGR_RETURN_IF_ERROR(policy_->LoadState(&policy_reader));
 
+  RobustCounters robust_counters;
+  FEDMIGR_RETURN_IF_ERROR(LoadRobustCounters(reader, &robust_counters));
+  ReputationTracker reputation(config_.robust.reputation, num_clients());
+  FEDMIGR_RETURN_IF_ERROR(reputation.LoadState(reader));
+
   progress_ = progress;
   result_ = std::move(result);
   rng_ = rng;
@@ -701,6 +793,12 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
   model_distributions_ = std::move(distributions);
   model_samples_ = std::move(samples);
   server_->global_model() = std::move(global);
+  robust_counters_ = robust_counters;
+  reputation_ = std::move(reputation);
+  for (size_t i = 0; i < eligible_.size(); ++i) {
+    eligible_[i] =
+        available_[i] && reputation_.Eligible(static_cast<int>(i));
+  }
   return util::Status::Ok();
 }
 

@@ -27,6 +27,7 @@
 #include "dp/gaussian.h"
 #include "fl/client.h"
 #include "fl/policies.h"
+#include "fl/robust.h"
 #include "fl/server.h"
 #include "net/budget.h"
 #include "net/device.h"
@@ -68,6 +69,11 @@ struct TrainerConfig {
   // is a strict no-op: with all probabilities at zero the trainer follows
   // exactly the fault-free code path and produces bit-identical results.
   net::FaultConfig fault;
+  // Byzantine-robust aggregation, update screening and client quarantine
+  // (see fl/robust.h). The default config is inert in the same sense: Mean
+  // aggregation through the legacy kernel, no screening beyond the
+  // always-on non-finite gate, no reputation — bit-identical results.
+  RobustConfig robust;
   // When the WAN to the server is shared, uploads serialize; when false,
   // each client has an independent WAN path.
   bool wan_shared = true;
@@ -115,6 +121,12 @@ struct RunResult {
   // Fault-tolerance counters (attempts, retries, fallbacks, dropped
   // stragglers, checksum rejects, ...). All zero when faults are disabled.
   net::FaultCounters faults;
+  // Robustness counters (screened/rejected uploads, attacks applied,
+  // quarantine events; see fl/robust.h).
+  RobustCounters robust;
+  // Aggregation round (1-based) in which each client first entered
+  // quarantine; -1 = never. Empty when reputation is disabled.
+  std::vector<int> first_quarantine_round;
   // Registry snapshot taken as Run() returned. The registry accumulates
   // process-wide, so diff two snapshots to isolate a single run. Empty when
   // telemetry is disabled or compiled out.
@@ -202,11 +214,21 @@ class Trainer {
   std::vector<double> model_samples_;
 
   // Participation state: the α-sample for the current global iteration and
-  // this epoch's availability (participation minus dropouts).
+  // this epoch's availability (participation minus dropouts). `eligible_`
+  // additionally masks out quarantined clients; it is what the migration
+  // policies (and thus the DRL/FLMM action space) see, and it equals
+  // `available_` whenever reputation is disabled.
   std::vector<bool> participating_;
   std::vector<bool> available_;
+  std::vector<bool> eligible_;
   void ResampleParticipants();
   void RollAvailability();
+
+  // Robustness state: the aggregation rule installed into the server (null
+  // = legacy FedAvg), per-client reputation, and the run's counters.
+  std::unique_ptr<Aggregator> aggregator_;
+  ReputationTracker reputation_;
+  RobustCounters robust_counters_;
 
   // Run-loop state promoted to members so a run can be snapshotted between
   // epochs and continued bit-identically.

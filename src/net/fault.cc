@@ -57,8 +57,33 @@ void Bump(int64_t* slot, obs::Counter* FaultMetrics::*member) {
 
 }  // namespace
 
+bool ParseAttackMode(const std::string& name, AttackMode* mode) {
+  if (name == "none") *mode = AttackMode::kNone;
+  else if (name == "sign-flip") *mode = AttackMode::kSignFlip;
+  else if (name == "gaussian") *mode = AttackMode::kGaussianNoise;
+  else if (name == "scale") *mode = AttackMode::kScaledModel;
+  else if (name == "silent") *mode = AttackMode::kSilentCorruption;
+  else if (name == "nan") *mode = AttackMode::kNanInjection;
+  else return false;
+  return true;
+}
+
+const char* AttackModeName(AttackMode mode) {
+  switch (mode) {
+    case AttackMode::kNone: return "none";
+    case AttackMode::kSignFlip: return "sign-flip";
+    case AttackMode::kGaussianNoise: return "gaussian";
+    case AttackMode::kScaledModel: return "scale";
+    case AttackMode::kSilentCorruption: return "silent";
+    case AttackMode::kNanInjection: return "nan";
+  }
+  return "none";
+}
+
 FaultInjector::FaultInjector(const FaultConfig& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config),
+      rng_(config.seed),
+      attack_rng_(config.seed * 7919ULL + 13ULL) {
   FEDMIGR_CHECK_GE(config_.link_failure_prob, 0.0);
   FEDMIGR_CHECK_LT(config_.link_failure_prob, 1.0);
   FEDMIGR_CHECK_GE(config_.bandwidth_jitter, 0.0);
@@ -75,10 +100,23 @@ FaultInjector::FaultInjector(const FaultConfig& config)
   FEDMIGR_CHECK_GE(config_.backoff_base_s, 0.0);
   FEDMIGR_CHECK_GT(config_.transfer_deadline_s, 0.0);
   FEDMIGR_CHECK_GT(config_.upload_deadline_s, 0.0);
+  FEDMIGR_CHECK_GE(config_.attack_fraction, 0.0);
+  FEDMIGR_CHECK_LE(config_.attack_fraction, 1.0);
 }
 
 void FaultInjector::BeginEpoch(int num_clients) {
   if (!enabled()) return;
+  if (config_.attacks_enabled() && !attackers_sampled_) {
+    // One-time persistent Byzantine set: round(f * K) distinct clients.
+    attacker_.assign(static_cast<size_t>(num_clients), false);
+    const int count = std::min(
+        num_clients,
+        static_cast<int>(config_.attack_fraction * num_clients + 0.5));
+    for (int idx : attack_rng_.SampleWithoutReplacement(num_clients, count)) {
+      attacker_[static_cast<size_t>(idx)] = true;
+    }
+    attackers_sampled_ = true;
+  }
   down_epochs_.resize(static_cast<size_t>(num_clients), 0);
   straggler_.resize(static_cast<size_t>(num_clients), false);
   for (int i = 0; i < num_clients; ++i) {
@@ -102,6 +140,17 @@ bool FaultInjector::IsCrashed(int client) const {
     return false;  // the server, or a client never rolled
   }
   return down_epochs_[static_cast<size_t>(client)] > 0;
+}
+
+bool FaultInjector::IsAttacker(int client) const {
+  if (client < 0 || client >= static_cast<int>(attacker_.size())) return false;
+  return attacker_[static_cast<size_t>(client)];
+}
+
+int FaultInjector::num_attackers() const {
+  int count = 0;
+  for (bool a : attacker_) count += a ? 1 : 0;
+  return count;
 }
 
 double FaultInjector::SlowdownFactor(int client) const {
@@ -135,6 +184,9 @@ void FaultInjector::SaveState(util::ByteWriter* writer) const {
   writer->WriteI64(counters_.crashes);
   writer->WriteI32Vector(down_epochs_);
   writer->WriteBoolVector(straggler_);
+  util::SaveRngState(attack_rng_, writer);
+  writer->WriteBoolVector(attacker_);
+  writer->WriteBool(attackers_sampled_);
 }
 
 util::Status FaultInjector::LoadState(util::ByteReader* reader) {
@@ -152,6 +204,9 @@ util::Status FaultInjector::LoadState(util::ByteReader* reader) {
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.crashes));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI32Vector(&down_epochs_));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadBoolVector(&straggler_));
+  FEDMIGR_RETURN_IF_ERROR(util::LoadRngState(reader, &attack_rng_));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBoolVector(&attacker_));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBool(&attackers_sampled_));
   if (down_epochs_.size() != straggler_.size()) {
     return util::Status::InvalidArgument(
         "fault injector client vectors out of sync");

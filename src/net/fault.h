@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "net/topology.h"
@@ -35,6 +36,26 @@
 #include "util/status.h"
 
 namespace fedmigr::net {
+
+// Byzantine (adversarial) client behavior. Unlike the link faults above,
+// these tamper with the *content* of an update before it is serialized, so
+// CRC framing cannot catch them — the robust-aggregation layer (fl/robust)
+// has to. The tampering itself is applied by the fl layer (it needs the
+// model); the injector only decides *who* attacks and owns the dedicated
+// RNG stream the tampering draws from.
+enum class AttackMode {
+  kNone = 0,
+  kSignFlip,          // w <- -w (gradient-ascent poisoning)
+  kGaussianNoise,     // w <- w + N(0, attack_scale^2) per coordinate
+  kScaledModel,       // w <- attack_scale * w (model boosting)
+  kSilentCorruption,  // sparse finite garbage written pre-serialization;
+                      // passes CRC32 and the NaN gate by construction
+  kNanInjection,      // w <- NaN (a diverged or bricked client)
+};
+
+// "none" | "sign-flip" | "gaussian" | "scale" | "silent" | "nan".
+bool ParseAttackMode(const std::string& name, AttackMode* mode);
+const char* AttackModeName(AttackMode mode);
 
 struct FaultConfig {
   // Per-attempt probability that a transfer fails in flight.
@@ -69,12 +90,24 @@ struct FaultConfig {
   // Failed C2C migrations are re-routed through the parameter server
   // (charged as two C2S hops) before giving up.
   bool server_fallback = true;
+  // Byzantine clients: `attack_fraction` of the fleet (rounded, sampled
+  // once from the injector's attack stream, persistent for the whole run)
+  // applies `attack_mode` to its model after every local update.
+  // `attack_scale` is the noise stddev / scale multiplier.
+  AttackMode attack_mode = AttackMode::kNone;
+  double attack_fraction = 0.0;
+  double attack_scale = 8.0;
   uint64_t seed = 97;
+
+  bool attacks_enabled() const {
+    return attack_mode != AttackMode::kNone && attack_fraction > 0.0;
+  }
 
   // True when any fault mechanism can fire.
   bool enabled() const {
     return link_failure_prob > 0.0 || bandwidth_jitter > 0.0 ||
-           crash_prob > 0.0 || straggler_prob > 0.0 || corruption_prob > 0.0;
+           crash_prob > 0.0 || straggler_prob > 0.0 || corruption_prob > 0.0 ||
+           attacks_enabled();
   }
 };
 
@@ -119,6 +152,16 @@ class FaultInjector {
   // (kServerId) never straggles.
   double SlowdownFactor(int client) const;
 
+  // True when `client` belongs to the persistent Byzantine set. The set is
+  // sampled on the first BeginEpoch (round(attack_fraction * K) distinct
+  // clients) from the dedicated attack stream, so enabling attacks leaves
+  // the link/crash/straggler trajectory untouched.
+  bool IsAttacker(int client) const;
+  int num_attackers() const;
+  // Stream the fl layer draws attack noise / corruption indices from;
+  // serialized with the injector so a resumed run replays the same attack.
+  util::Rng* attack_rng() { return &attack_rng_; }
+
   // One fault-aware transfer over (src, dst); either endpoint may be
   // kServerId. Every attempt is charged to `traffic` (if non-null); the
   // returned seconds include failed attempts and backoff.
@@ -148,9 +191,12 @@ class FaultInjector {
 
   FaultConfig config_;
   util::Rng rng_;
+  util::Rng attack_rng_;
   FaultCounters counters_;
   std::vector<int> down_epochs_;     // remaining outage per client
   std::vector<bool> straggler_;
+  std::vector<bool> attacker_;       // persistent Byzantine set
+  bool attackers_sampled_ = false;
 };
 
 }  // namespace fedmigr::net

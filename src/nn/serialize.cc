@@ -1,5 +1,6 @@
 #include "nn/serialize.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -24,6 +25,20 @@ T ReadLe(const uint8_t* p) {
   return value;
 }
 
+// Ingest gate shared by both wire formats: a single NaN coordinate entering
+// an aggregation would turn the whole mean non-finite, permanently, and a
+// CRC only proves the NaN arrived intact. Checkpoint/snapshot restore paths
+// (ReadParams/ReadTensor) are deliberately not gated — they replay whatever
+// state was saved.
+util::Status CheckPayloadFinite(const std::vector<float>& flat) {
+  for (float v : flat) {
+    if (!std::isfinite(v)) {
+      return util::Status::DataLoss("non-finite parameter in payload");
+    }
+  }
+  return util::Status::Ok();
+}
+
 // Legacy v1 framing: [uint64 count][count * float32].
 util::Status DeserializeV1(const std::vector<uint8_t>& bytes,
                            Sequential* model) {
@@ -38,6 +53,7 @@ util::Status DeserializeV1(const std::vector<uint8_t>& bytes,
   std::vector<float> flat(count);
   std::memcpy(flat.data(), bytes.data() + sizeof(uint64_t),
               count * sizeof(float));
+  FEDMIGR_RETURN_IF_ERROR(CheckPayloadFinite(flat));
   return UnflattenParams(flat, model);
 }
 
@@ -113,6 +129,7 @@ util::Status DeserializeParams(const std::vector<uint8_t>& bytes,
   std::vector<float> flat(count);
   std::memcpy(flat.data(), bytes.data() + kV2HeaderSize,
               count * sizeof(float));
+  FEDMIGR_RETURN_IF_ERROR(CheckPayloadFinite(flat));
   return UnflattenParams(flat, model);
 }
 

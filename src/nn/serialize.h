@@ -30,8 +30,11 @@ util::Status UnflattenParams(const std::vector<float>& flat,
 //   [count * float32 payload][uint32 crc32 of everything before it]
 // A truncated or bit-flipped buffer fails the size or checksum test and is
 // rejected with a Status (kDataLoss for checksum mismatches) instead of
-// silently loading garbage. DeserializeParams also accepts the legacy v1
-// framing ([uint64 count][payload]) so old checkpoints keep loading.
+// silently loading garbage. Both paths also reject payloads containing
+// NaN/Inf coordinates (kDataLoss): a CRC only proves a NaN arrived intact,
+// and one non-finite parameter entering an aggregation poisons the global
+// model permanently. DeserializeParams also accepts the legacy v1 framing
+// ([uint64 count][payload]) so old checkpoints keep loading.
 // Simulated transfer sizes are metered by Sequential::ByteSize (raw
 // parameter bytes), so the framing does not change traffic accounting.
 std::vector<uint8_t> SerializeParams(const Sequential& model);

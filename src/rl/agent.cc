@@ -31,12 +31,20 @@ nn::Tensor RowsToTensor(const std::vector<std::vector<float>>& rows) {
 std::vector<double> SoftmaxMasked(const std::vector<double>& scores,
                                   const std::vector<bool>& mask) {
   FEDMIGR_CHECK_EQ(scores.size(), mask.size());
+  // A non-finite score (the actor diverged — e.g. trained on Byzantine
+  // losses) cannot be exponentiated; those actions are excluded, and if no
+  // finite-scored action remains the policy degrades to uniform over the
+  // mask rather than emitting NaN probabilities.
   double max_score = -1e300;
   bool any = false;
+  bool any_finite = false;
   for (size_t i = 0; i < scores.size(); ++i) {
     if (mask[i]) {
-      max_score = std::max(max_score, scores[i]);
       any = true;
+      if (std::isfinite(scores[i])) {
+        max_score = std::max(max_score, scores[i]);
+        any_finite = true;
+      }
     }
   }
   FEDMIGR_CHECK(any) << "all actions masked";
@@ -44,7 +52,11 @@ std::vector<double> SoftmaxMasked(const std::vector<double>& scores,
   double total = 0.0;
   for (size_t i = 0; i < scores.size(); ++i) {
     if (!mask[i]) continue;
-    probs[i] = std::exp(scores[i] - max_score);
+    if (!any_finite) {
+      probs[i] = 1.0;
+    } else if (std::isfinite(scores[i])) {
+      probs[i] = std::exp(scores[i] - max_score);
+    }
     total += probs[i];
   }
   for (auto& p : probs) p /= total;

@@ -202,6 +202,10 @@ util::Status PrioritizedReplayBuffer::LoadState(util::ByteReader* reader) {
 
 void PrioritizedReplayBuffer::UpdatePriority(size_t index, double priority) {
   FEDMIGR_CHECK_LT(index, size_);
+  // A non-finite TD error (critic diverged on Byzantine rewards) collapses
+  // to the floor priority: the transition stays reachable, the sum tree
+  // stays finite.
+  if (!std::isfinite(priority)) priority = 1e-6;
   priority = std::max(priority, 1e-6);  // keep every transition reachable
   max_priority_ = std::max(max_priority_, priority);
   tree_.Set(index, std::pow(priority, xi_));

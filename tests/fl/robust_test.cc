@@ -1,0 +1,644 @@
+// Byzantine-robust aggregation, update screening and quarantine: aggregator
+// rules, the ingest screen, the reputation state machine, snapshot
+// round-trips, and the end-to-end attack-vs-defense matrix on a tiny
+// workload.
+
+#include "fl/robust.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/schemes.h"
+#include "fl/server.h"
+#include "fl/trainer.h"
+#include "nn/layers.h"
+#include "nn/serialize.h"
+#include "nn/zoo.h"
+#include "util/rng.h"
+
+namespace fedmigr::fl {
+namespace {
+
+nn::Sequential ConstantModel(float value) {
+  util::Rng rng(1);
+  nn::Sequential model;
+  model.Add(std::make_unique<nn::Dense>(3, 2, &rng));
+  for (nn::Tensor* p : model.Params()) p->Fill(value);
+  return model;
+}
+
+nn::Sequential NoisyModel(float center, float spread, uint64_t seed) {
+  nn::Sequential model = ConstantModel(center);
+  util::Rng rng(seed);
+  for (nn::Tensor* p : model.Params()) {
+    float* data = p->data();
+    for (int64_t i = 0; i < p->size(); ++i) {
+      data[i] = center + spread * static_cast<float>(rng.Normal());
+    }
+  }
+  return model;
+}
+
+double MeanParam(const nn::Sequential& model) {
+  double sum = 0.0;
+  int64_t count = 0;
+  for (const nn::Tensor* p : model.Params()) {
+    const float* data = p->data();
+    for (int64_t i = 0; i < p->size(); ++i) sum += data[i];
+    count += p->size();
+  }
+  return sum / static_cast<double>(count);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregators
+// ---------------------------------------------------------------------------
+
+TEST(RobustAggregatorTest, MeanIsBitIdenticalToLegacyWeightedAverage) {
+  const nn::Sequential a = NoisyModel(0.5f, 0.3f, 11);
+  const nn::Sequential b = NoisyModel(-0.2f, 0.5f, 12);
+  const nn::Sequential c = NoisyModel(1.0f, 0.1f, 13);
+  const std::vector<const nn::Sequential*> models = {&a, &b, &c};
+  const std::vector<double> weights = {3.0, 1.0, 2.5};
+
+  nn::Sequential legacy = ConstantModel(0.0f);
+  Server::WeightedAverage(models, weights, &legacy);
+  nn::Sequential robust = ConstantModel(0.0f);
+  MakeAggregator(AggregatorKind::kMean)->Aggregate(models, weights, &robust);
+
+  const std::vector<float> lhs = nn::FlattenParams(legacy);
+  const std::vector<float> rhs = nn::FlattenParams(robust);
+  ASSERT_EQ(lhs.size(), rhs.size());
+  EXPECT_EQ(0, std::memcmp(lhs.data(), rhs.data(),
+                           lhs.size() * sizeof(float)));
+}
+
+TEST(RobustAggregatorTest, TrimmedMeanDropsCoordinateExtremes) {
+  // Four models at 1.0, one at 1000: trim_fraction 0.2 removes one value
+  // from each end per coordinate, so the outlier never enters the mean.
+  const nn::Sequential honest = ConstantModel(1.0f);
+  const nn::Sequential outlier = ConstantModel(1000.0f);
+  const std::vector<const nn::Sequential*> models = {&honest, &honest,
+                                                     &honest, &honest,
+                                                     &outlier};
+  nn::Sequential out = ConstantModel(0.0f);
+  MakeAggregator(AggregatorKind::kTrimmedMean)
+      ->Aggregate(models, std::vector<double>(5, 1.0), &out);
+  EXPECT_NEAR(MeanParam(out), 1.0, 1e-6);
+}
+
+TEST(RobustAggregatorTest, CoordinateMedianResistsMinorityOutliers) {
+  const nn::Sequential low = ConstantModel(-50.0f);
+  const nn::Sequential mid = ConstantModel(2.0f);
+  const nn::Sequential high = ConstantModel(90.0f);
+  const std::vector<const nn::Sequential*> models = {&low, &mid, &high};
+  nn::Sequential out = ConstantModel(0.0f);
+  MakeAggregator(AggregatorKind::kCoordinateMedian)
+      ->Aggregate(models, std::vector<double>(3, 1.0), &out);
+  EXPECT_NEAR(MeanParam(out), 2.0, 1e-6);
+}
+
+TEST(RobustAggregatorTest, KrumSelectsFromTheHonestCluster) {
+  // Seven honest models clustered at 1.0, two attackers at -8: Krum's
+  // score (sum of closest n-f-2 distances) puts every attacker far from
+  // the cluster, so the selection lands inside it.
+  std::vector<nn::Sequential> owned;
+  for (int i = 0; i < 7; ++i) owned.push_back(NoisyModel(1.0f, 0.05f, 20 + i));
+  owned.push_back(ConstantModel(-8.0f));
+  owned.push_back(ConstantModel(-8.5f));
+  std::vector<const nn::Sequential*> models;
+  for (const auto& m : owned) models.push_back(&m);
+
+  nn::Sequential out = ConstantModel(0.0f);
+  MakeAggregator(AggregatorKind::kKrum)
+      ->Aggregate(models, std::vector<double>(models.size(), 1.0), &out);
+  EXPECT_NEAR(MeanParam(out), 1.0, 0.2);
+
+  nn::Sequential multi = ConstantModel(0.0f);
+  MakeAggregator(AggregatorKind::kMultiKrum)
+      ->Aggregate(models, std::vector<double>(models.size(), 1.0), &multi);
+  EXPECT_NEAR(MeanParam(multi), 1.0, 0.2);
+}
+
+TEST(RobustAggregatorTest, MatrixMeanFailsWhereRobustRulesHold) {
+  // The acceptance matrix: n = 10 uploads, f = 2 sign-flipped attackers
+  // (f < n/2 - 1). The weighted mean is dragged far off the honest
+  // center; trimmed-mean, median and Krum all stay within a tight ball.
+  std::vector<nn::Sequential> owned;
+  for (int i = 0; i < 8; ++i) owned.push_back(NoisyModel(1.0f, 0.05f, 40 + i));
+  owned.push_back(ConstantModel(-8.0f));  // sign-flip style poison
+  owned.push_back(ConstantModel(-8.0f));
+  std::vector<const nn::Sequential*> models;
+  for (const auto& m : owned) models.push_back(&m);
+  const std::vector<double> weights(models.size(), 1.0);
+
+  const AggregatorKind robust_kinds[] = {AggregatorKind::kTrimmedMean,
+                                         AggregatorKind::kCoordinateMedian,
+                                         AggregatorKind::kKrum,
+                                         AggregatorKind::kMultiKrum};
+  for (AggregatorKind kind : robust_kinds) {
+    nn::Sequential out = ConstantModel(0.0f);
+    MakeAggregator(kind)->Aggregate(models, weights, &out);
+    EXPECT_NEAR(MeanParam(out), 1.0, 0.2)
+        << "rule " << AggregatorKindName(kind);
+  }
+  nn::Sequential mean = ConstantModel(0.0f);
+  MakeAggregator(AggregatorKind::kMean)->Aggregate(models, weights, &mean);
+  EXPECT_LT(MeanParam(mean), 0.0);  // two -8 uploads drag 8x(+1) below zero
+}
+
+TEST(RobustAggregatorTest, ParseRoundTrips) {
+  const AggregatorKind kinds[] = {
+      AggregatorKind::kMean, AggregatorKind::kTrimmedMean,
+      AggregatorKind::kCoordinateMedian, AggregatorKind::kKrum,
+      AggregatorKind::kMultiKrum};
+  for (AggregatorKind kind : kinds) {
+    AggregatorKind parsed;
+    ASSERT_TRUE(ParseAggregatorKind(AggregatorKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+    EXPECT_EQ(MakeAggregator(kind)->name(), AggregatorKindName(kind));
+  }
+  AggregatorKind unused;
+  EXPECT_FALSE(ParseAggregatorKind("bogus", &unused));
+
+  net::AttackMode mode;
+  ASSERT_TRUE(net::ParseAttackMode("sign-flip", &mode));
+  EXPECT_EQ(mode, net::AttackMode::kSignFlip);
+  EXPECT_FALSE(net::ParseAttackMode("bogus", &mode));
+
+  RobustConfig config;
+  EXPECT_TRUE(ParseRobustProfile("off", &config));
+  EXPECT_FALSE(config.active());
+  EXPECT_TRUE(ParseRobustProfile("screen", &config));
+  EXPECT_TRUE(config.screening.active());
+  EXPECT_FALSE(config.reputation.enabled);
+  EXPECT_TRUE(ParseRobustProfile("defense", &config));
+  EXPECT_TRUE(config.reputation.enabled);
+  EXPECT_FALSE(ParseRobustProfile("bogus", &config));
+}
+
+// ---------------------------------------------------------------------------
+// Screening
+// ---------------------------------------------------------------------------
+
+TEST(ScreeningTest, NonFiniteUpdatesAlwaysRejected) {
+  const nn::Sequential reference = ConstantModel(1.0f);
+  const nn::Sequential honest = ConstantModel(1.1f);
+  nn::Sequential poisoned = ConstantModel(1.0f);
+  poisoned.Params()[0]->data()[0] = std::numeric_limits<float>::quiet_NaN();
+
+  std::vector<const nn::Sequential*> kept;
+  std::vector<double> kept_weights;
+  std::vector<std::unique_ptr<nn::Sequential>> storage;
+  RobustCounters counters;
+  const auto verdicts = ScreenUpdates(
+      ScreeningConfig{}, {&honest, &poisoned}, {1.0, 1.0}, reference, &kept,
+      &kept_weights, &storage, &counters);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_TRUE(verdicts[0].accepted());
+  EXPECT_EQ(verdicts[1].outcome, ScreeningOutcome::kNonFinite);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], &honest);
+  EXPECT_EQ(counters.screened_updates, 2);
+  EXPECT_EQ(counters.nonfinite_rejected, 1);
+}
+
+TEST(ScreeningTest, CosineGateCatchesSignFlip) {
+  const nn::Sequential reference = NoisyModel(1.0f, 0.2f, 7);
+  nn::Sequential flipped = reference;
+  for (nn::Tensor* p : flipped.Params()) p->Scale(-1.0f);
+  const nn::Sequential honest = NoisyModel(1.0f, 0.25f, 8);
+
+  ScreeningConfig config;
+  config.cosine_reject_below = -0.2;
+  std::vector<const nn::Sequential*> kept;
+  std::vector<double> kept_weights;
+  std::vector<std::unique_ptr<nn::Sequential>> storage;
+  RobustCounters counters;
+  const auto verdicts =
+      ScreenUpdates(config, {&honest, &flipped}, {1.0, 1.0}, reference, &kept,
+                    &kept_weights, &storage, &counters);
+  EXPECT_TRUE(verdicts[0].accepted());
+  EXPECT_EQ(verdicts[1].outcome, ScreeningOutcome::kCosineOutlier);
+  EXPECT_NEAR(verdicts[1].cosine, -1.0, 1e-3);
+  EXPECT_EQ(counters.cosine_rejected, 1);
+}
+
+TEST(ScreeningTest, NormOutlierRejectedAndClipApplied) {
+  const nn::Sequential reference = ConstantModel(0.0f);
+  const nn::Sequential small_a = ConstantModel(0.1f);
+  const nn::Sequential small_b = ConstantModel(-0.1f);
+  const nn::Sequential small_c = ConstantModel(0.12f);
+  const nn::Sequential huge = ConstantModel(50.0f);
+
+  ScreeningConfig config;
+  config.norm_reject_factor = 4.0;
+  std::vector<const nn::Sequential*> kept;
+  std::vector<double> kept_weights;
+  std::vector<std::unique_ptr<nn::Sequential>> storage;
+  RobustCounters counters;
+  auto verdicts = ScreenUpdates(config, {&small_a, &small_b, &small_c, &huge},
+                                {1.0, 1.0, 1.0, 1.0}, reference, &kept,
+                                &kept_weights, &storage, &counters);
+  EXPECT_EQ(verdicts[3].outcome, ScreeningOutcome::kNormOutlier);
+  EXPECT_EQ(counters.norm_rejected, 1);
+  EXPECT_EQ(kept.size(), 3u);
+
+  // Clipping: same outlier, but with a clip ball instead of rejection —
+  // the update is kept, scaled back onto the ball.
+  ScreeningConfig clip_config;
+  clip_config.clip_norm = 1.0;
+  kept.clear();
+  kept_weights.clear();
+  storage.clear();
+  RobustCounters clip_counters;
+  verdicts = ScreenUpdates(clip_config, {&small_a, &huge}, {1.0, 1.0},
+                           reference, &kept, &kept_weights, &storage,
+                           &clip_counters);
+  EXPECT_EQ(verdicts[1].outcome, ScreeningOutcome::kClipped);
+  EXPECT_TRUE(verdicts[1].accepted());
+  EXPECT_EQ(clip_counters.norm_clipped, 1);
+  ASSERT_EQ(kept.size(), 2u);
+  // The clipped survivor's delta norm sits on the ball.
+  double delta2 = 0.0;
+  const std::vector<float> clipped = nn::FlattenParams(*kept[1]);
+  for (float v : clipped) delta2 += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(delta2), 1.0, 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Reputation state machine
+// ---------------------------------------------------------------------------
+
+TEST(ReputationTest, AlwaysFlaggedClientQuarantinedAtPatience) {
+  ReputationConfig config;
+  config.enabled = true;
+  config.patience = 3;
+  config.quarantine_rounds = 4;
+  ReputationTracker tracker(config, 2);
+  RobustCounters counters;
+
+  for (int round = 1; round <= config.patience; ++round) {
+    EXPECT_TRUE(tracker.Eligible(0)) << "round " << round;
+    tracker.ReportFlagged(0, &counters);
+    tracker.ReportClean(1);
+    tracker.AdvanceRound(&counters);
+  }
+  // Quarantined at exactly round `patience` — well before 2x patience.
+  EXPECT_FALSE(tracker.Eligible(0));
+  EXPECT_EQ(tracker.state(0), ReputationState::kQuarantined);
+  EXPECT_EQ(tracker.first_quarantine_round(0), config.patience);
+  EXPECT_LT(tracker.first_quarantine_round(0), 2 * config.patience);
+  EXPECT_EQ(counters.quarantines, 1);
+  // The clean bystander never left healthy.
+  EXPECT_EQ(tracker.state(1), ReputationState::kHealthy);
+}
+
+TEST(ReputationTest, NoClientStaysInSuspectForever) {
+  // Strikes never reset while suspect, so any flag/clean sequence leaves
+  // the state within patience^2 reports: either `patience` flags
+  // accumulate (quarantine) or `patience` consecutive cleans land first
+  // (healthy). Fuzz random sequences and check the bound.
+  ReputationConfig config;
+  config.enabled = true;
+  config.patience = 3;
+  config.quarantine_rounds = 2;
+  const int bound = config.patience * config.patience;
+
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    ReputationTracker tracker(config, 1);
+    RobustCounters counters;
+    int consecutive_suspect = 0;
+    for (int round = 0; round < 200; ++round) {
+      if (tracker.state(0) == ReputationState::kSuspect) {
+        ++consecutive_suspect;
+        ASSERT_LE(consecutive_suspect, bound) << "trial " << trial;
+      } else {
+        consecutive_suspect = 0;
+      }
+      if (tracker.Eligible(0)) {
+        if (rng.Bernoulli(0.5)) {
+          tracker.ReportFlagged(0, &counters);
+        } else {
+          tracker.ReportClean(0);
+        }
+      }
+      tracker.AdvanceRound(&counters);
+    }
+  }
+}
+
+TEST(ReputationTest, RehabilitationRestoresEligibilityAndRelapsesOnFlag) {
+  ReputationConfig config;
+  config.enabled = true;
+  config.patience = 2;
+  config.quarantine_rounds = 3;
+  ReputationTracker tracker(config, 1);
+  RobustCounters counters;
+
+  // Straight to quarantine.
+  for (int i = 0; i < config.patience; ++i) {
+    tracker.ReportFlagged(0, &counters);
+    tracker.AdvanceRound(&counters);
+  }
+  ASSERT_EQ(tracker.state(0), ReputationState::kQuarantined);
+
+  // Serve the full quarantine; eligibility comes back as rehabilitating.
+  for (int i = 0; i < config.quarantine_rounds; ++i) {
+    EXPECT_FALSE(tracker.Eligible(0));
+    tracker.AdvanceRound(&counters);
+  }
+  EXPECT_EQ(tracker.state(0), ReputationState::kRehabilitating);
+  EXPECT_TRUE(tracker.Eligible(0));
+
+  // One flag during rehabilitation relapses immediately.
+  tracker.ReportFlagged(0, &counters);
+  EXPECT_EQ(tracker.state(0), ReputationState::kQuarantined);
+  EXPECT_EQ(counters.quarantines, 2);
+  tracker.AdvanceRound(&counters);  // the round that triggered the relapse
+
+  // Serve again, then a clean streak of `patience` promotes to healthy.
+  for (int i = 0; i < config.quarantine_rounds; ++i) {
+    tracker.AdvanceRound(&counters);
+  }
+  ASSERT_EQ(tracker.state(0), ReputationState::kRehabilitating);
+  for (int i = 0; i < config.patience; ++i) {
+    tracker.ReportClean(0);
+    tracker.AdvanceRound(&counters);
+  }
+  EXPECT_EQ(tracker.state(0), ReputationState::kHealthy);
+  EXPECT_TRUE(tracker.Eligible(0));
+  EXPECT_EQ(counters.rehabilitations, 1);
+}
+
+TEST(ReputationTest, StateRoundTripsByteEqual) {
+  ReputationConfig config;
+  config.enabled = true;
+  config.patience = 2;
+  config.quarantine_rounds = 3;
+  ReputationTracker tracker(config, 4);
+  RobustCounters counters;
+  // Mixed states: quarantined, suspect, healthy, rehabilitating-ish.
+  tracker.ReportFlagged(0, &counters);
+  tracker.ReportFlagged(1, &counters);
+  tracker.AdvanceRound(&counters);
+  tracker.ReportFlagged(0, &counters);
+  tracker.ReportClean(2);
+  tracker.AdvanceRound(&counters);
+
+  util::ByteWriter first;
+  tracker.SaveState(&first);
+
+  ReputationTracker restored(config, 4);
+  util::ByteReader reader(first.bytes());
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
+  util::ByteWriter second;
+  restored.SaveState(&second);
+  EXPECT_EQ(first.bytes(), second.bytes());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(restored.state(i), tracker.state(i));
+    EXPECT_EQ(restored.first_quarantine_round(i),
+              tracker.first_quarantine_round(i));
+  }
+
+  // Client-count mismatch is rejected.
+  ReputationTracker wrong(config, 5);
+  util::ByteReader bad(first.bytes());
+  EXPECT_FALSE(wrong.LoadState(&bad).ok());
+}
+
+TEST(RobustCountersTest, RoundTripsByteEqual) {
+  RobustCounters counters;
+  counters.screened_updates = 17;
+  counters.nonfinite_rejected = 3;
+  counters.norm_clipped = 2;
+  counters.cosine_rejected = 5;
+  counters.quarantines = 1;
+  util::ByteWriter writer;
+  SaveRobustCounters(counters, &writer);
+  RobustCounters restored;
+  util::ByteReader reader(writer.bytes());
+  ASSERT_TRUE(LoadRobustCounters(&reader, &restored).ok());
+  util::ByteWriter again;
+  SaveRobustCounters(restored, &again);
+  EXPECT_EQ(writer.bytes(), again.bytes());
+  EXPECT_EQ(restored.cosine_rejected, 5);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: attacks vs defenses on a tiny workload
+// ---------------------------------------------------------------------------
+
+struct TinyWorkload {
+  TinyWorkload() {
+    data::SyntheticSpec spec = data::C10Spec();
+    spec.train_per_class = 20;
+    spec.test_per_class = 5;
+    data = data::GenerateSynthetic(spec);
+    topology = net::MakeC10SimTopology();
+    devices = net::MakeUniformFleet(10);
+    util::Rng rng(3);
+    partition = data::PartitionByClassShards(data.train, 10, 1, &rng);
+  }
+
+  Trainer MakeTrainer(SchemeSetup setup) {
+    return Trainer(setup.config, &data.train, partition, &data.test, topology,
+                   devices,
+                   [](util::Rng* rng) { return nn::MakeC10Net(rng); },
+                   std::move(setup.policy));
+  }
+
+  RunResult Run(SchemeSetup setup) {
+    Trainer trainer = MakeTrainer(std::move(setup));
+    return trainer.Run();
+  }
+
+  data::TrainTest data;
+  data::Partition partition;
+  net::Topology topology;
+  std::vector<net::DeviceProfile> devices;
+};
+
+SchemeSetup AttackedFedAvg(net::AttackMode mode, double fraction,
+                           int epochs = 8) {
+  SchemeSetup setup = MakeFedAvg();
+  setup.config.max_epochs = epochs;
+  setup.config.eval_every = epochs;
+  setup.config.fault.attack_mode = mode;
+  setup.config.fault.attack_fraction = fraction;
+  return setup;
+}
+
+TEST(RobustTrainerTest, InertConfigMatchesLegacyTrajectoryBitIdentical) {
+  // The whole robustness layer at defaults must not move a single bit of
+  // the clean trajectory (the screen runs, but only observes).
+  TinyWorkload w;
+  SchemeSetup plain = MakeRandMigr(2);
+  plain.config.max_epochs = 4;
+  const RunResult a = w.Run(std::move(plain));
+
+  SchemeSetup with_layer = MakeRandMigr(2);
+  with_layer.config.max_epochs = 4;
+  with_layer.config.robust = RobustConfig{};  // explicit defaults
+  const RunResult b = w.Run(std::move(with_layer));
+
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.history[i].train_loss, b.history[i].train_loss);
+    EXPECT_DOUBLE_EQ(a.history[i].test_accuracy, b.history[i].test_accuracy);
+  }
+  EXPECT_EQ(b.robust.nonfinite_rejected, 0);
+  EXPECT_EQ(b.robust.quarantines, 0);
+  EXPECT_GT(b.robust.screened_updates, 0);  // the gate observed every upload
+}
+
+TEST(RobustTrainerTest, OneNanClientDoesNotPoisonTheRun) {
+  // Satellite regression: a single client uploading NaN (diverged or
+  // bricked) must be dropped at ingest by the always-on gate — with the
+  // *default* inert config — and the run must keep converging.
+  TinyWorkload w;
+  const RunResult result =
+      w.Run(AttackedFedAvg(net::AttackMode::kNanInjection, 0.1));
+  EXPECT_EQ(result.epochs_run, 8);
+  EXPECT_GT(result.robust.attacked_updates, 0);
+  EXPECT_GT(result.robust.nonfinite_rejected, 0);
+  EXPECT_TRUE(std::isfinite(result.final_accuracy));
+  EXPECT_TRUE(std::isfinite(result.history.back().train_loss));
+  // Nine honest clients keep learning: accuracy stays a real measurement.
+  EXPECT_GT(result.final_accuracy, 0.0);
+}
+
+TEST(RobustTrainerTest, SignFlipMatrixMeanDegradesRobustRulesTolerate) {
+  // 20% sign-flip on FedAvg: the weighted mean collapses, trimmed-mean and
+  // Krum stay within a couple of accuracy points of their own clean runs.
+  TinyWorkload w;
+  auto run = [&w](AggregatorKind kind, bool attacked) {
+    SchemeSetup setup = AttackedFedAvg(net::AttackMode::kSignFlip,
+                                       attacked ? 0.2 : 0.0, 10);
+    setup.config.eval_every = 5;
+    setup.config.robust.aggregator = kind;
+    return w.Run(std::move(setup));
+  };
+
+  const RunResult mean_clean = run(AggregatorKind::kMean, false);
+  const RunResult mean_attacked = run(AggregatorKind::kMean, true);
+  EXPECT_EQ(mean_attacked.robust.attacked_updates, 2 * 10);
+  // Mean demonstrably degrades under the flip.
+  EXPECT_LT(mean_attacked.best_accuracy, mean_clean.best_accuracy - 0.02);
+
+  for (AggregatorKind kind :
+       {AggregatorKind::kTrimmedMean, AggregatorKind::kKrum}) {
+    const RunResult clean = run(kind, false);
+    const RunResult attacked = run(kind, true);
+    EXPECT_GE(attacked.best_accuracy, clean.best_accuracy - 0.02)
+        << "rule " << AggregatorKindName(kind);
+  }
+}
+
+TEST(RobustTrainerTest, DefenseQuarantinesEveryAttackerWithinPatience) {
+  // Screening + reputation against a persistent sign-flip minority: every
+  // attacker must be quarantined before round 2x patience, and quarantined
+  // uploads must stop costing traffic.
+  TinyWorkload w;
+  SchemeSetup setup = AttackedFedAvg(net::AttackMode::kSignFlip, 0.2, 10);
+  ASSERT_TRUE(ParseRobustProfile("defense", &setup.config.robust));
+  const int patience = setup.config.robust.reputation.patience;
+  const RunResult result = w.Run(std::move(setup));
+
+  ASSERT_EQ(result.first_quarantine_round.size(), 10u);
+  int quarantined = 0;
+  for (int round : result.first_quarantine_round) {
+    if (round < 0) continue;
+    ++quarantined;
+    EXPECT_LE(round, 2 * patience);
+  }
+  // 20% of 10 clients = both attackers caught. A persistent attacker that
+  // serves its quarantine and relapses re-enters quarantine, so the
+  // transition counter can exceed the distinct-client count.
+  EXPECT_EQ(quarantined, 2);
+  EXPECT_GE(result.robust.quarantines, 2);
+  EXPECT_GT(result.robust.cosine_rejected, 0);
+  EXPECT_GT(result.robust.quarantine_excluded, 0);
+}
+
+TEST(RobustTrainerTest, QuarantinedClientsLeaveTheMigrationActionSpace) {
+  // Under a migration scheme, a quarantined client must neither send nor
+  // receive C2C moves. NaN attackers are flagged every aggregation round,
+  // so with the defense profile they end up quarantined, after which no
+  // migration can carry their replica to an honest client. Migrations
+  // *before* the first quarantine can still contaminate an honest client —
+  // FedMigr's unique exposure — but the contaminated client then uploads
+  // non-finite models itself, gets flagged, and is quarantined too: the
+  // blast radius is contained either way, and the run stays measurable.
+  TinyWorkload w;
+  SchemeSetup setup = MakeRandMigr(3);
+  setup.config.max_epochs = 12;
+  setup.config.eval_every = 6;
+  setup.config.fault.attack_mode = net::AttackMode::kNanInjection;
+  setup.config.fault.attack_fraction = 0.2;
+  ASSERT_TRUE(ParseRobustProfile("defense", &setup.config.robust));
+  const RunResult result = w.Run(std::move(setup));
+
+  EXPECT_EQ(result.epochs_run, 12);
+  // Both attackers quarantined (plus possibly a client contaminated by a
+  // pre-quarantine migration), never the whole fleet.
+  int quarantined = 0;
+  for (int round : result.first_quarantine_round) {
+    if (round >= 0) ++quarantined;
+  }
+  EXPECT_GE(quarantined, 2);
+  EXPECT_LE(quarantined, 4);
+  // The run stays healthy: finite metrics, and the honest majority's
+  // models never went non-finite (the virtual aggregate stays measurable).
+  EXPECT_TRUE(std::isfinite(result.final_accuracy));
+  EXPECT_GT(result.final_accuracy, 0.0);
+}
+
+TEST(RobustTrainerTest, ReputationStateSurvivesSnapshotByteEqual) {
+  // Snapshot round-trip with live quarantine state: save mid-run, restore
+  // into a fresh trainer, and the re-serialized state must be byte-equal.
+  TinyWorkload w;
+  auto make_setup = [] {
+    SchemeSetup setup = AttackedFedAvg(net::AttackMode::kSignFlip, 0.2, 6);
+    ParseRobustProfile("defense", &setup.config.robust);
+    return setup;
+  };
+
+  Trainer trainer = w.MakeTrainer(make_setup());
+  trainer.SetEpochHook(
+      [](const Trainer&, int epoch) { return epoch < 4; });
+  RunResult partial = trainer.Run();
+  ASSERT_TRUE(partial.interrupted);
+
+  util::ByteWriter saved;
+  trainer.SaveState(&saved);
+
+  Trainer restored = w.MakeTrainer(make_setup());
+  util::ByteReader reader(saved.bytes());
+  ASSERT_TRUE(restored.LoadState(&reader).ok());
+  util::ByteWriter resaved;
+  restored.SaveState(&resaved);
+  EXPECT_EQ(saved.bytes(), resaved.bytes());
+
+  // And the restored run finishes identically to an uninterrupted one.
+  const RunResult continued = restored.Run();
+  const RunResult reference = w.Run(make_setup());
+  ASSERT_EQ(continued.history.size(), reference.history.size());
+  for (size_t i = 0; i < continued.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(continued.history[i].train_loss,
+                     reference.history[i].train_loss);
+  }
+  EXPECT_EQ(continued.robust.quarantines, reference.robust.quarantines);
+  EXPECT_EQ(continued.first_quarantine_round,
+            reference.first_quarantine_round);
+}
+
+}  // namespace
+}  // namespace fedmigr::fl

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -120,6 +121,33 @@ TEST(SerializeTest, BitFlipInPayloadIsRejectedAsDataLoss) {
   // absorbed the corrupted payload silently.
   Sequential c = SmallModel(21);
   EXPECT_EQ(Sequential::ParamDistance(b, c), 0.0);
+}
+
+TEST(SerializeTest, NonFinitePayloadIsRejectedAsDataLoss) {
+  // A NaN parameter survives CRC (it is a faithful encoding of a broken
+  // model, not a transport error), so the wire gate must catch it before
+  // it can brick the receiver's weights.
+  Sequential a = SmallModel(26);
+  a.Params()[0]->data()[0] = std::numeric_limits<float>::quiet_NaN();
+  Sequential b = SmallModel(27);
+  const util::Status status = DeserializeParams(SerializeParams(a), &b);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kDataLoss);
+  Sequential c = SmallModel(27);
+  EXPECT_EQ(Sequential::ParamDistance(b, c), 0.0);
+
+  // Same gate on the legacy v1 frame path, with an Inf.
+  Sequential d = SmallModel(28);
+  d.Params()[0]->data()[0] = std::numeric_limits<float>::infinity();
+  const std::vector<float> flat = FlattenParams(d);
+  const uint64_t count = flat.size();
+  std::vector<uint8_t> bytes(sizeof(uint64_t) + flat.size() * sizeof(float));
+  std::memcpy(bytes.data(), &count, sizeof(uint64_t));
+  std::memcpy(bytes.data() + sizeof(uint64_t), flat.data(),
+              flat.size() * sizeof(float));
+  const util::Status legacy = DeserializeParams(bytes, &d);
+  EXPECT_FALSE(legacy.ok());
+  EXPECT_EQ(legacy.code(), util::StatusCode::kDataLoss);
 }
 
 TEST(SerializeTest, BitFlipInHeaderIsRejected) {
