@@ -1,26 +1,178 @@
-// Fig. 6 — Scalability of decision making: time to produce one migration
-// policy by (a) solving the relaxed convex program ("S-COP", projected-
-// gradient QP + Hungarian rounding) vs (b) DRL actor inference, as the
-// number of clients grows from 10 to 100.
+// Fig. 6 extension — fleet-scale trainer scalability.
 //
-// Paper: DRL inference time grows much more slowly than S-COP. This bench
-// uses google-benchmark for the timing and prints both series.
+// The paper's Fig. 6 asks how decision making scales with the client count;
+// this bench asks the same of the whole simulator. It sweeps the fleet size
+// K (default 1k / 10k / 100k; --clients goes to 10^6) at a fixed cohort
+// size C and measures what the sharded CoW client layer promises:
+//   - trainer construction cost stays O(C), not O(K);
+//   - seconds per epoch tracks C, not K;
+//   - peak RSS stays bounded (materialized models ≈ touched cohorts, every
+//     idle client aliases the one aggregate block).
+//
+// Output: a human-readable table on stdout and, with --json-out, a
+// google-benchmark-shaped JSON file (same schema as BENCH_nn_ops.json) so
+// CI can track the trajectory PR over PR.
+//
+// Flags (both --flag=value and --flag value forms):
+//   --clients=LIST   comma-separated fleet sizes (default 1000,10000,100000)
+//   --cohort=C       cohort size per round (default 100)
+//   --epochs=N       epochs per measured run (default 3)
+//   --agg-period=N   aggregation period (default 3: one full round + extra)
+//   --json-out=PATH  write the google-benchmark JSON here
+//   --decision-time  run the paper's original Fig. 6 exhibit instead:
+//                    time-to-one-migration-plan for S-COP (relaxed QP +
+//                    Hungarian rounding) vs DRL actor inference, K=10..100
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "core/experiment.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/policies.h"
+#include "fl/trainer.h"
+#include "net/device.h"
 #include "net/topology.h"
+#include "nn/zoo.h"
+#include "obs/resource.h"
+#include "obs/trace.h"
 #include "opt/flmm.h"
 #include "rl/agent.h"
 #include "rl/state.h"
+#include "util/file.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace fedmigr;
 
+struct ScalabilityFlags {
+  std::vector<int64_t> clients = {1000, 10000, 100000};
+  int cohort = 100;
+  int epochs = 3;
+  int agg_period = 3;
+  bool decision_time = false;
+  std::string json_out;
+};
+
+// Accepts --flag=value and --flag value.
+bool FlagValue(int argc, char** argv, int* i, const char* name,
+               std::string* value) {
+  const std::string arg = argv[*i];
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  if (arg == name && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+ScalabilityFlags ParseFlags(int argc, char** argv) {
+  ScalabilityFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (FlagValue(argc, argv, &i, "--clients", &value)) {
+      flags.clients.clear();
+      size_t start = 0;
+      while (start < value.size()) {
+        size_t comma = value.find(',', start);
+        if (comma == std::string::npos) comma = value.size();
+        flags.clients.push_back(
+            std::stoll(value.substr(start, comma - start)));
+        start = comma + 1;
+      }
+    } else if (FlagValue(argc, argv, &i, "--cohort", &value)) {
+      flags.cohort = std::stoi(value);
+    } else if (FlagValue(argc, argv, &i, "--epochs", &value)) {
+      flags.epochs = std::stoi(value);
+    } else if (FlagValue(argc, argv, &i, "--agg-period", &value)) {
+      flags.agg_period = std::stoi(value);
+    } else if (FlagValue(argc, argv, &i, "--json-out", &value)) {
+      flags.json_out = value;
+    } else if (std::string(argv[i]) == "--decision-time") {
+      flags.decision_time = true;
+    }
+  }
+  FEDMIGR_CHECK(!flags.clients.empty());
+  FEDMIGR_CHECK(flags.cohort > 0);
+  FEDMIGR_CHECK(flags.epochs > 0);
+  return flags;
+}
+
+struct SweepPoint {
+  int64_t clients = 0;
+  int cohort = 0;
+  double construct_s = 0.0;
+  double per_epoch_s = 0.0;
+  double run_s = 0.0;
+  int materialized = 0;
+  int64_t peak_rss_bytes = 0;
+};
+
+// One measured run at fleet size K. The dataset is generated once and
+// shared; every client trains on a small wrapped slice of it, so fleet size
+// scales the *simulated* population without scaling the sample store.
+SweepPoint RunPoint(const data::TrainTest& data, int64_t clients_i64,
+                    const ScalabilityFlags& flags) {
+  const int k = static_cast<int>(clients_i64);
+  const int samples_per_client = 8;
+  const int n = data.train.size();
+
+  SweepPoint point;
+  point.clients = clients_i64;
+  point.cohort = std::min<int>(flags.cohort, k);
+
+  data::Partition partition(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    auto& slice = partition[static_cast<size_t>(i)];
+    slice.reserve(samples_per_client);
+    for (int j = 0; j < samples_per_client; ++j) {
+      slice.push_back(static_cast<int>(
+          (static_cast<int64_t>(i) * samples_per_client + j) % n));
+    }
+  }
+
+  net::TopologyConfig tc;
+  tc.lan_of = net::EvenLanAssignment(k, std::max(1, k / 1000));
+  fl::TrainerConfig config;
+  config.scheme_name = "scalability";
+  config.max_epochs = flags.epochs;
+  config.agg_period = flags.agg_period;
+  config.cohort_size = point.cohort;
+  config.eval_every = 0;  // measurement of the simulator, not the model
+  config.batch_size = 8;
+  config.seed = 11;
+
+  const obs::Stopwatch construct_watch;
+  fl::Trainer trainer(config, &data.train, std::move(partition), &data.test,
+                      net::Topology(std::move(tc)), net::MakeUniformFleet(k),
+                      [](util::Rng* rng) { return nn::MakeModelByName("c10", rng); },
+                      std::make_unique<fl::RandomMigrationPolicy>());
+  point.construct_s = construct_watch.ElapsedSeconds();
+
+  const obs::Stopwatch run_watch;
+  const fl::RunResult result = trainer.Run();
+  point.run_s = run_watch.ElapsedSeconds();
+  point.per_epoch_s = point.run_s / std::max(1, result.epochs_run);
+  point.materialized = trainer.num_materialized_clients();
+  point.peak_rss_bytes = obs::PeakRssBytes();
+  return point;
+}
+
+// --- The paper's original Fig. 6: decision-time scalability -----------------
+
 // Random divergence matrix + topology of the given size.
-struct Problem {
-  explicit Problem(int k)
+struct DecisionProblem {
+  explicit DecisionProblem(int k)
       : topology(net::TopologyConfig{
             .lan_of = net::EvenLanAssignment(k, std::max(1, k / 4))}),
         gain(static_cast<size_t>(k),
@@ -39,48 +191,211 @@ struct Problem {
   std::vector<std::vector<double>> gain;
 };
 
-void BM_SCOP(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  Problem problem(k);
-  for (auto _ : state) {
-    const opt::FlmmPlan plan =
-        opt::SolveFlmm(problem.gain, problem.topology, 100000, {});
-    benchmark::DoNotOptimize(plan.destination.data());
+struct DecisionPoint {
+  int clients = 0;
+  double scop_ms = 0.0;
+  double drl_ms = 0.0;
+};
+
+// Per-iteration wall time, repeated until ~100 ms total (min 3 iterations),
+// reported as the median — robust to a stray scheduler hiccup without
+// needing a benchmark framework.
+template <typename Fn>
+double MedianIterationMs(const Fn& fn) {
+  std::vector<double> samples;
+  double total = 0.0;
+  while (samples.size() < 3 || (total < 0.1 && samples.size() < 200)) {
+    const obs::Stopwatch watch;
+    fn();
+    const double elapsed = watch.ElapsedSeconds();
+    samples.push_back(elapsed);
+    total += elapsed;
   }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2] * 1e3;
 }
-BENCHMARK(BM_SCOP)->Arg(10)->Arg(20)->Arg(40)->Arg(60)->Arg(80)->Arg(100)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_DrlInference(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  Problem problem(k);
-  rl::DdpgAgent agent(rl::AgentConfig{});
-  util::Rng rng(7);
+std::vector<DecisionPoint> RunDecisionTimeSweep() {
+  std::printf(
+      "Fig. 6: decision-time scalability — one migration plan for K "
+      "clients\n(S-COP = relaxed QP + Hungarian rounding; DRL = actor "
+      "inference over all\nK x K candidate rows)\n\n");
+  std::printf("%12s %14s %14s\n", "clients", "S-COP (ms)", "DRL (ms)");
 
-  fl::PolicyContext ctx;
-  ctx.topology = &problem.topology;
-  ctx.model_bytes = 100000;
-  ctx.client_distributions = &problem.gain;  // only sizes matter here
-  ctx.model_distributions = &problem.gain;
-  ctx.budget = nullptr;
-  net::Budget budget;
-  ctx.budget = &budget;
+  std::vector<DecisionPoint> points;
+  for (const int k : {10, 20, 40, 60, 80, 100}) {
+    DecisionProblem problem(k);
+    DecisionPoint point;
+    point.clients = k;
 
-  for (auto _ : state) {
-    // One full policy round: score all K sources' candidate rows and pick.
-    std::vector<bool> mask(static_cast<size_t>(k), true);
-    int total = 0;
-    for (int src = 0; src < k; ++src) {
-      const auto rows = rl::CandidateRows(ctx, problem.gain, src);
-      total += agent.SelectAction(rows, mask, /*explore=*/false, &rng);
-    }
-    benchmark::DoNotOptimize(total);
+    point.scop_ms = MedianIterationMs([&] {
+      const opt::FlmmPlan plan =
+          opt::SolveFlmm(problem.gain, problem.topology, 100000, {});
+      FEDMIGR_CHECK(static_cast<int>(plan.destination.size()) == k);
+    });
+
+    rl::DdpgAgent agent(rl::AgentConfig{});
+    util::Rng rng(7);
+    net::Budget budget;
+    fl::PolicyContext ctx;
+    ctx.topology = &problem.topology;
+    ctx.model_bytes = 100000;
+    ctx.client_distributions = &problem.gain;  // only the shapes matter here
+    ctx.model_distributions = &problem.gain;
+    ctx.budget = &budget;
+    point.drl_ms = MedianIterationMs([&] {
+      // One full policy round: score all K sources' candidate rows and pick.
+      std::vector<bool> mask(static_cast<size_t>(k), true);
+      int total = 0;
+      for (int src = 0; src < k; ++src) {
+        const auto rows = rl::CandidateRows(ctx, problem.gain, src);
+        total += agent.SelectAction(rows, mask, /*explore=*/false, &rng);
+      }
+      FEDMIGR_CHECK(total >= 0);
+    });
+
+    std::printf("%12d %14.3f %14.3f\n", point.clients, point.scop_ms,
+                point.drl_ms);
+    std::fflush(stdout);
+    points.push_back(point);
   }
+  std::printf(
+      "\nexpectation: the convex solver's cost grows much faster with K "
+      "than\nactor inference — the paper's argument for the learned "
+      "policy.\n");
+  return points;
 }
-BENCHMARK(BM_DrlInference)
-    ->Arg(10)->Arg(20)->Arg(40)->Arg(60)->Arg(80)->Arg(100)
-    ->Unit(benchmark::kMillisecond);
+
+std::string DecisionJsonReport(const std::vector<DecisionPoint>& points) {
+  std::string out;
+  out += "{\n  \"context\": {\n";
+  out += "    \"executable\": \"bench_fig6_scalability\",\n";
+  out += "    \"mode\": \"decision_time\"\n";
+  out += "  },\n  \"benchmarks\": [\n";
+  for (size_t p = 0; p < points.size(); ++p) {
+    const DecisionPoint& point = points[p];
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\n"
+                  "      \"name\": \"decision_time/scop/clients:%d\",\n"
+                  "      \"run_type\": \"iteration\",\n"
+                  "      \"iterations\": 1,\n"
+                  "      \"real_time\": %.6e,\n"
+                  "      \"cpu_time\": %.6e,\n"
+                  "      \"time_unit\": \"ms\"\n"
+                  "    },\n"
+                  "    {\n"
+                  "      \"name\": \"decision_time/drl/clients:%d\",\n"
+                  "      \"run_type\": \"iteration\",\n"
+                  "      \"iterations\": 1,\n"
+                  "      \"real_time\": %.6e,\n"
+                  "      \"cpu_time\": %.6e,\n"
+                  "      \"time_unit\": \"ms\"\n"
+                  "    }%s\n",
+                  point.clients, point.scop_ms, point.scop_ms, point.clients,
+                  point.drl_ms, point.drl_ms,
+                  p + 1 < points.size() ? "," : "");
+    out += buffer;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string JsonReport(const std::vector<SweepPoint>& points,
+                       const ScalabilityFlags& flags) {
+  std::string out;
+  out += "{\n  \"context\": {\n";
+  out += "    \"executable\": \"bench_fig6_scalability\",\n";
+  out += "    \"epochs\": " + std::to_string(flags.epochs) + ",\n";
+  out += "    \"agg_period\": " + std::to_string(flags.agg_period) + "\n";
+  out += "  },\n  \"benchmarks\": [\n";
+  for (size_t p = 0; p < points.size(); ++p) {
+    const SweepPoint& point = points[p];
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\n"
+        "      \"name\": \"scalability/clients:%lld/cohort:%d\",\n"
+        "      \"run_type\": \"iteration\",\n"
+        "      \"iterations\": %d,\n"
+        "      \"real_time\": %.6e,\n"
+        "      \"cpu_time\": %.6e,\n"
+        "      \"time_unit\": \"s\",\n"
+        "      \"construct_s\": %.6e,\n"
+        "      \"materialized_models\": %d,\n"
+        "      \"peak_rss_bytes\": %lld\n"
+        "    }%s\n",
+        static_cast<long long>(point.clients), point.cohort, flags.epochs,
+        point.per_epoch_s, point.per_epoch_s, point.construct_s,
+        point.materialized, static_cast<long long>(point.peak_rss_bytes),
+        p + 1 < points.size() ? "," : "");
+    out += buffer;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const ScalabilityFlags flags = ParseFlags(argc, argv);
+
+  if (flags.decision_time) {
+    const std::vector<DecisionPoint> points = RunDecisionTimeSweep();
+    if (!flags.json_out.empty()) {
+      const std::string report = DecisionJsonReport(points);
+      const util::Status status = util::AtomicWriteFile(
+          flags.json_out, std::vector<uint8_t>(report.begin(), report.end()));
+      if (!status.ok()) {
+        std::fprintf(stderr, "failed to write %s: %s\n",
+                     flags.json_out.c_str(), status.message().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", flags.json_out.c_str());
+    }
+    return 0;
+  }
+
+  // Small shared synthetic store; the fleet wraps around it.
+  data::SyntheticSpec spec = data::C10Spec();
+  spec.train_per_class = 60;
+  const data::TrainTest data = data::GenerateSynthetic(spec);
+
+  std::printf(
+      "Fig. 6 extension: simulator scalability in fleet size K\n"
+      "(cohort C = %d per round, %d epochs, agg every %d; sharded CoW "
+      "client store)\n\n",
+      flags.cohort, flags.epochs, flags.agg_period);
+  std::printf(
+      "%12s %8s %14s %14s %14s %14s\n", "clients", "cohort", "construct (s)",
+      "sec/epoch", "materialized", "peak RSS (MB)");
+
+  std::vector<SweepPoint> points;
+  for (int64_t clients : flags.clients) {
+    const SweepPoint point = RunPoint(data, clients, flags);
+    std::printf("%12lld %8d %14.3f %14.3f %14d %14.1f\n",
+                static_cast<long long>(point.clients), point.cohort,
+                point.construct_s, point.per_epoch_s, point.materialized,
+                static_cast<double>(point.peak_rss_bytes) / 1e6);
+    std::fflush(stdout);
+    points.push_back(point);
+  }
+
+  std::printf(
+      "\nexpectation: sec/epoch and materialized models track the cohort "
+      "size,\nnot the fleet size; idle clients alias one shared aggregate "
+      "block.\n");
+
+  if (!flags.json_out.empty()) {
+    const std::string report = JsonReport(points, flags);
+    const util::Status status = util::AtomicWriteFile(
+        flags.json_out, std::vector<uint8_t>(report.begin(), report.end()));
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", flags.json_out.c_str(),
+                   status.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.json_out.c_str());
+  }
+  return 0;
+}

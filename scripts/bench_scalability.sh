@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the fleet-scalability sweep (sharded CoW simulator) and records
+# BENCH_scalability.json at the repo root, so the memory/latency trajectory
+# of the million-client path is tracked PR over PR.
+#
+# Usage: scripts/bench_scalability.sh [build-dir] [extra flags...]
+#
+# The build dir defaults to ./build and must already contain a compiled
+# bench/bench_fig6_scalability (cmake -B build -S . && cmake --build build -j).
+# Extra flags are passed through, e.g.:
+#   scripts/bench_scalability.sh build --clients 1000000 --cohort 100
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench_bin="$build_dir/bench/bench_fig6_scalability"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found; build it first:" >&2
+  echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+  exit 1
+fi
+
+"$bench_bin" \
+  --json-out "$repo_root/BENCH_scalability.json" \
+  "$@"
+
+echo "wrote $repo_root/BENCH_scalability.json"

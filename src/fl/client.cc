@@ -6,6 +6,17 @@
 #include "util/logging.h"
 
 namespace fedmigr::fl {
+namespace {
+
+// Per-client snapshot flag byte (trainer state v3). Bit 0: the replica
+// aliases the trainer's current aggregate block, parameters elided. Bit 1:
+// the proximal reference aliases the aggregate's flattened view, payload
+// elided. Bit 2: no replica installed yet.
+constexpr uint8_t kModelAliased = 1u << 0;
+constexpr uint8_t kProximalAliased = 1u << 1;
+constexpr uint8_t kNoModel = 1u << 2;
+
+}  // namespace
 
 Client::Client(int id, const data::Dataset* dataset, std::vector<int> indices,
                double learning_rate, double momentum, uint64_t seed)
@@ -18,22 +29,80 @@ Client::Client(int id, const data::Dataset* dataset, std::vector<int> indices,
   label_distribution_ = data::LabelDistribution(*dataset_, indices_);
 }
 
-void Client::SetModel(const nn::Sequential& model) { model_ = model; }
+nn::Sequential& Client::mutable_model() {
+  FEDMIGR_CHECK(model_ != nullptr);
+  if (!owns_model_) {
+    model_ = ModelStore::Clone(*model_);
+    owns_model_ = true;
+  }
+  return *model_;
+}
+
+void Client::SetModel(ModelRef model) {
+  FEDMIGR_CHECK(model != nullptr);
+  // Constness is a sharing convention, not storage: the block is only ever
+  // written through mutable_model(), which clones unless owns_model_.
+  model_ = std::const_pointer_cast<nn::Sequential>(std::move(model));
+  owns_model_ = false;
+}
+
+void Client::SetModel(const nn::Sequential& model) {
+  model_ = ModelStore::Clone(model);
+  owns_model_ = true;
+}
+
+ModelRef Client::share_model() {
+  if (model_ == nullptr) return nullptr;
+  owns_model_ = false;
+  return model_;
+}
+
+void Client::SetProximalReference(FlatRef reference) {
+  proximal_reference_ = std::move(reference);
+}
 
 void Client::SetProximalReference(const nn::Sequential& global) {
-  proximal_reference_ = nn::FlattenParams(global);
+  proximal_reference_ = ModelStore::Flatten(global);
 }
 
 void Client::SaveState(util::ByteWriter* writer) const {
+  SaveState(writer, nullptr, nullptr);
+}
+
+void Client::SaveState(util::ByteWriter* writer, const ModelRef& aggregate,
+                       const FlatRef& aggregate_flat) const {
   writer->WriteI32(id_);
   writer->WriteU64(indices_.size());
-  nn::WriteParams(writer, model_);
+  uint8_t flags = 0;
+  if (model_ == nullptr) {
+    flags |= kNoModel;
+  } else if (aggregate != nullptr && model_ == aggregate) {
+    flags |= kModelAliased;
+  }
+  if (proximal_reference_ != nullptr && aggregate_flat != nullptr &&
+      proximal_reference_ == aggregate_flat) {
+    flags |= kProximalAliased;
+  }
+  writer->WriteU8(flags);
+  if (!(flags & (kModelAliased | kNoModel))) {
+    nn::WriteParams(writer, *model_);
+  }
   optimizer_.SaveState(writer);
   util::SaveRngState(rng_, writer);
-  writer->WriteF32Vector(proximal_reference_);
+  if (!(flags & kProximalAliased)) {
+    writer->WriteF32Vector(proximal_reference_ == nullptr
+                               ? std::vector<float>()
+                               : *proximal_reference_);
+  }
 }
 
 util::Status Client::LoadState(util::ByteReader* reader) {
+  return LoadState(reader, nullptr, nullptr);
+}
+
+util::Status Client::LoadState(util::ByteReader* reader,
+                               const ModelRef& aggregate,
+                               const FlatRef& aggregate_flat) {
   int32_t id = 0;
   uint64_t samples = 0;
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&id));
@@ -42,16 +111,59 @@ util::Status Client::LoadState(util::ByteReader* reader) {
     return util::Status::InvalidArgument(
         "client fingerprint mismatch for client " + std::to_string(id_));
   }
-  FEDMIGR_RETURN_IF_ERROR(nn::ReadParams(reader, &model_));
+  uint8_t flags = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU8(&flags));
+  if (flags & kNoModel) {
+    model_.reset();
+    owns_model_ = false;
+  } else if (flags & kModelAliased) {
+    if (aggregate == nullptr) {
+      return util::Status::DataLoss(
+          "client " + std::to_string(id_) +
+          " aliases the aggregate block but none was restored");
+    }
+    model_ = std::const_pointer_cast<nn::Sequential>(aggregate);
+    owns_model_ = false;
+  } else {
+    // Inline payload: materialize a private block shaped like the replica
+    // we already hold (or the aggregate when restoring a lazy client).
+    if (model_ == nullptr || !owns_model_) {
+      const nn::Sequential* shape =
+          model_ != nullptr ? model_.get() : aggregate.get();
+      if (shape == nullptr) {
+        return util::Status::DataLoss(
+            "client " + std::to_string(id_) +
+            " carries inline parameters but no block shape is available");
+      }
+      model_ = ModelStore::Clone(*shape);
+      owns_model_ = true;
+    }
+    FEDMIGR_RETURN_IF_ERROR(nn::ReadParams(reader, model_.get()));
+  }
   FEDMIGR_RETURN_IF_ERROR(optimizer_.LoadState(reader));
   FEDMIGR_RETURN_IF_ERROR(util::LoadRngState(reader, &rng_));
-  FEDMIGR_RETURN_IF_ERROR(reader->ReadF32Vector(&proximal_reference_));
+  if (flags & kProximalAliased) {
+    if (aggregate_flat == nullptr) {
+      return util::Status::DataLoss(
+          "client " + std::to_string(id_) +
+          " aliases the flattened aggregate but none was restored");
+    }
+    proximal_reference_ = aggregate_flat;
+  } else {
+    std::vector<float> proximal;
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadF32Vector(&proximal));
+    proximal_reference_ =
+        std::make_shared<const std::vector<float>>(std::move(proximal));
+  }
   return util::Status::Ok();
 }
 
 LocalUpdateResult Client::LocalUpdate(const LocalUpdateOptions& options) {
   LocalUpdateResult result;
   if (indices_.empty()) return result;
+  nn::Sequential& model = mutable_model();
+  const std::vector<float>* proximal =
+      proximal_reference_ != nullptr ? proximal_reference_.get() : nullptr;
   data::BatchIterator batches(dataset_, indices_, options.batch_size, &rng_);
   double loss_sum = 0.0;
   int batch_count = 0;
@@ -60,25 +172,26 @@ LocalUpdateResult Client::LocalUpdate(const LocalUpdateOptions& options) {
     nn::Tensor batch;
     std::vector<int> labels;
     while (batches.Next(&batch, &labels)) {
-      model_.ZeroGrads();
-      const nn::Tensor logits = model_.Forward(batch, /*training=*/true);
+      model.ZeroGrads();
+      const nn::Tensor logits = model.Forward(batch, /*training=*/true);
       nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
-      model_.Backward(loss.grad_logits);
-      if (options.fedprox_mu > 0.0 && !proximal_reference_.empty()) {
+      model.Backward(loss.grad_logits);
+      if (options.fedprox_mu > 0.0 && proximal != nullptr &&
+          !proximal->empty()) {
         // Proximal term: grad += μ (w - w_ref).
-        auto params = model_.Params();
-        auto grads = model_.Grads();
+        auto params = model.Params();
+        auto grads = model.Grads();
         size_t offset = 0;
         const float mu = static_cast<float>(options.fedprox_mu);
         for (size_t p = 0; p < params.size(); ++p) {
           for (int64_t j = 0; j < params[p]->size(); ++j) {
             (*grads[p])[j] += mu * ((*params[p])[j] -
-                                    proximal_reference_[offset + j]);
+                                    (*proximal)[offset + j]);
           }
           offset += static_cast<size_t>(params[p]->size());
         }
       }
-      optimizer_.Step(&model_);
+      optimizer_.Step(&model);
       loss_sum += loss.loss;
       ++batch_count;
       result.samples_processed += static_cast<int64_t>(labels.size());

@@ -1,13 +1,21 @@
 // Simulated FL client: owns a slice of the training data, a local model
 // replica and an SGD optimizer, and performs the Local Updating step
 // (optionally with FedProx's proximal term).
+//
+// The model replica is copy-on-write: after Model Distribution the client
+// merely aliases the aggregate block published by the trainer's ModelStore,
+// and the first mutable access (LocalUpdate, DP noising, an in-place attack)
+// clones a private block. Idle clients therefore cost O(1) model bytes,
+// which is what lets the sharded simulator scale to 10^6 clients.
 
 #ifndef FEDMIGR_FL_CLIENT_H_
 #define FEDMIGR_FL_CLIENT_H_
 
+#include <memory>
 #include <vector>
 
 #include "data/dataset.h"
+#include "fl/model_store.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
 #include "util/rng.h"
@@ -45,15 +53,39 @@ class Client {
     return label_distribution_;
   }
 
-  nn::Sequential& model() { return model_; }
-  const nn::Sequential& model() const { return model_; }
+  bool has_model() const { return model_ != nullptr; }
 
-  // Installs a model replica (Model Distribution or an incoming migration).
+  // Read-only view of the replica. Valid until the next SetModel.
+  const nn::Sequential& model() const { return *model_; }
+
+  // Mutable view. If the replica is currently shared (aliased from the
+  // store or from a migration source) this clones a private block first, so
+  // writes never leak into other holders.
+  nn::Sequential& mutable_model();
+
+  // Aliases a shared block (Model Distribution or an incoming migration).
+  // O(1); no parameters are copied until the client writes.
+  void SetModel(ModelRef model);
+
+  // Legacy deep-copy install (async runtime, tests). The client owns the
+  // resulting block exclusively.
   void SetModel(const nn::Sequential& model);
 
+  // Shares the current replica and marks it immutable-in-place: the next
+  // mutable_model() clones. Migration uses this to snapshot sources without
+  // deep copies. Null if no model was ever installed.
+  ModelRef share_model();
+
+  // Non-demoting view of the current block (snapshot alias detection).
+  ModelRef model_ref() const { return model_; }
+  bool owns_model() const { return owns_model_; }
+
   // Records the reference point for FedProx's proximal term. Call at every
-  // Model Distribution.
+  // Model Distribution. The shared overload aliases the store's flattened
+  // aggregate; the legacy overload flattens privately.
+  void SetProximalReference(FlatRef reference);
   void SetProximalReference(const nn::Sequential& global);
+  const FlatRef& proximal_reference() const { return proximal_reference_; }
 
   // Runs `options.epochs` passes of mini-batch SGD over the local data.
   LocalUpdateResult LocalUpdate(const LocalUpdateOptions& options);
@@ -61,18 +93,30 @@ class Client {
   // Snapshot state: model replica, SGD momentum, shuffling RNG, FedProx
   // reference. The dataset slice is rebuilt from the workload seed, so only
   // a fingerprint (id, sample count) is stored for validation.
+  //
+  // The aliased forms write a flag byte instead of the parameter payload
+  // when the replica (resp. proximal reference) aliases `aggregate`
+  // (resp. `aggregate_flat`); LoadState re-aliases against the same refs.
+  // Passing nulls (the two-argument form) always inlines the payload.
   void SaveState(util::ByteWriter* writer) const;
+  void SaveState(util::ByteWriter* writer, const ModelRef& aggregate,
+                 const FlatRef& aggregate_flat) const;
   util::Status LoadState(util::ByteReader* reader);
+  util::Status LoadState(util::ByteReader* reader, const ModelRef& aggregate,
+                         const FlatRef& aggregate_flat);
 
  private:
   int id_;
   const data::Dataset* dataset_;
   std::vector<int> indices_;
   std::vector<double> label_distribution_;
-  nn::Sequential model_;
+  // Invariant: mutable access requires owns_model_; aliased blocks are
+  // cloned first (see mutable_model).
+  std::shared_ptr<nn::Sequential> model_;
+  bool owns_model_ = false;
   nn::Sgd optimizer_;
   util::Rng rng_;
-  std::vector<float> proximal_reference_;  // flattened global params
+  FlatRef proximal_reference_;  // flattened global params (possibly shared)
 };
 
 }  // namespace fedmigr::fl

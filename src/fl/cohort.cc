@@ -1,0 +1,83 @@
+#include "fl/cohort.h"
+
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fedmigr::fl {
+namespace {
+
+// splitmix64 finalizer: decorrelates (seed, round) pairs before they seed
+// the per-round xoshiro stream.
+uint64_t MixSeed(uint64_t seed, int64_t round) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(round) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CohortSampler::CohortSampler(uint64_t seed, int num_clients, int cohort_size)
+    : seed_(seed), num_clients_(num_clients), cohort_size_(cohort_size) {
+  FEDMIGR_CHECK(num_clients > 0);
+  FEDMIGR_CHECK(cohort_size > 0 && cohort_size <= num_clients);
+}
+
+std::vector<int> CohortSampler::Sample(int64_t round) const {
+  std::vector<int> cohort;
+  cohort.reserve(static_cast<size_t>(cohort_size_));
+  if (cohort_size_ == num_clients_) {
+    for (int i = 0; i < num_clients_; ++i) cohort.push_back(i);
+    return cohort;
+  }
+  util::Rng rng(MixSeed(seed_, round));
+  // Floyd's sampling: C distinct draws without touching the other K - C ids.
+  // std::set keeps the result ordered (and the tree is tiny: C elements).
+  std::set<int> picked;
+  for (int j = num_clients_ - cohort_size_; j < num_clients_; ++j) {
+    const int t = rng.UniformInt(j + 1);
+    if (!picked.insert(t).second) picked.insert(j);
+  }
+  cohort.assign(picked.begin(), picked.end());
+  return cohort;
+}
+
+ShardedClients::ShardedClients(int num_clients) : num_clients_(num_clients) {
+  FEDMIGR_CHECK(num_clients >= 0);
+  const int shards =
+      (num_clients + (1 << kShardBits) - 1) >> kShardBits;
+  shards_.resize(static_cast<size_t>(shards));
+}
+
+Client* ShardedClients::Get(int i) const {
+  FEDMIGR_CHECK(i >= 0 && i < num_clients_);
+  const Shard* shard = shards_[static_cast<size_t>(i >> kShardBits)].get();
+  if (shard == nullptr) return nullptr;
+  return shard->slots[i & ((1 << kShardBits) - 1)].get();
+}
+
+Client* ShardedClients::Put(int i, std::unique_ptr<Client> client) {
+  FEDMIGR_CHECK(i >= 0 && i < num_clients_);
+  FEDMIGR_CHECK(client != nullptr);
+  auto& shard = shards_[static_cast<size_t>(i >> kShardBits)];
+  if (shard == nullptr) shard = std::make_unique<Shard>();
+  auto& slot = shard->slots[i & ((1 << kShardBits) - 1)];
+  if (slot == nullptr) ++materialized_;
+  slot = std::move(client);
+  return slot.get();
+}
+
+void ShardedClients::Evict(int i) {
+  FEDMIGR_CHECK(i >= 0 && i < num_clients_);
+  auto& shard = shards_[static_cast<size_t>(i >> kShardBits)];
+  if (shard == nullptr) return;
+  auto& slot = shard->slots[i & ((1 << kShardBits) - 1)];
+  if (slot != nullptr) {
+    slot.reset();
+    --materialized_;
+  }
+}
+
+}  // namespace fedmigr::fl

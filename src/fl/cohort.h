@@ -1,0 +1,79 @@
+// Partial-participation cohort scheduling for the sharded simulator.
+//
+// `CohortSampler` draws the active cohort of each aggregation round. It is
+// stateless: the round's cohort is a pure function of (seed, round index,
+// fleet size, cohort size), so a resumed run recomputes the same cohorts
+// without any snapshot bytes and the trainer's main RNG stream is never
+// consumed — cohort scheduling cannot perturb the legacy full-participation
+// streams. Sampling uses Floyd's algorithm, O(C log C) independent of the
+// fleet size K, which matters at K = 10^6 with C = 10^2.
+//
+// `ShardedClients` is the lazy client-state container: a sharded pointer
+// table whose shards are allocated only when a client in them first joins a
+// cohort. Constructing a million-client trainer allocates the shard
+// directory (K / 1024 pointers), not K `Client` objects.
+
+#ifndef FEDMIGR_FL_COHORT_H_
+#define FEDMIGR_FL_COHORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fl/client.h"
+
+namespace fedmigr::fl {
+
+class CohortSampler {
+ public:
+  // `cohort_size` is clamped to [1, num_clients] by the caller (Trainer
+  // treats 0 as "cohorts disabled").
+  CohortSampler(uint64_t seed, int num_clients, int cohort_size);
+
+  // Distinct client ids of round `round`, sorted ascending. Deterministic in
+  // (seed, round) only — repeated calls and calls from different threads
+  // agree.
+  std::vector<int> Sample(int64_t round) const;
+
+  int cohort_size() const { return cohort_size_; }
+
+ private:
+  uint64_t seed_;
+  int num_clients_;
+  int cohort_size_;
+};
+
+class ShardedClients {
+ public:
+  explicit ShardedClients(int num_clients);
+
+  int size() const { return num_clients_; }
+  // Materialized clients currently held (drives the fl/materialized_models
+  // gauge and the memory acceptance test).
+  int num_materialized() const { return materialized_; }
+
+  // The client at `i`, or nullptr while it is still lazy.
+  Client* Get(int i) const;
+
+  // Installs a freshly materialized client, allocating its shard on demand.
+  Client* Put(int i, std::unique_ptr<Client> client);
+
+  // Returns client `i` to the lazy state (snapshot restore of a snapshot
+  // taken before the client first participated).
+  void Evict(int i);
+
+ private:
+  static constexpr int kShardBits = 10;  // 1024 clients per shard
+
+  struct Shard {
+    std::unique_ptr<Client> slots[1 << kShardBits];
+  };
+
+  int num_clients_ = 0;
+  int materialized_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fedmigr::fl
+
+#endif  // FEDMIGR_FL_COHORT_H_

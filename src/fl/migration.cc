@@ -63,15 +63,22 @@ MigrationExecution ExecuteWithFaults(const MigrationPlan& plan,
                                      const net::Topology& topology,
                                      int64_t model_bytes,
                                      net::TrafficAccountant* traffic,
-                                     net::FaultInjector* faults) {
+                                     net::FaultInjector* faults,
+                                     const std::vector<int>* node_ids) {
   const bool faulty = faults != nullptr && faults->enabled();
+  if (node_ids != nullptr) {
+    FEDMIGR_CHECK_EQ(node_ids->size(), plan.incoming.size());
+  }
   MigrationExecution exec;
   exec.delivered.assign(plan.incoming.size(), false);
   exec.corrupted.assign(plan.incoming.size(), false);
   for (size_t j = 0; j < plan.incoming.size(); ++j) {
-    const int src = plan.incoming[j];
-    const int dst = static_cast<int>(j);
-    if (src == dst) continue;
+    if (plan.incoming[j] == static_cast<int>(j)) continue;
+    const int src = node_ids != nullptr
+                        ? (*node_ids)[static_cast<size_t>(plan.incoming[j])]
+                        : plan.incoming[j];
+    const int dst =
+        node_ids != nullptr ? (*node_ids)[j] : static_cast<int>(j);
     ++exec.cost.num_moves;
     double seconds = 0.0;
     bool delivered = true;

@@ -74,11 +74,17 @@ struct MigrationExecution {
 // CostAndRecord with every move delivered. A C2C move whose direct link
 // gives up is re-routed via the server (two C2S hops) when the injector's
 // `server_fallback` is set; via-server plans have no further fallback.
+//
+// `node_ids` (optional) maps the plan's index space to global client ids:
+// a cohort-local plan over C active clients executes against the full
+// topology, and traffic/fault accounting is attributed to the real clients.
+// Null means the identity map (the plan already uses global ids).
 MigrationExecution ExecuteWithFaults(const MigrationPlan& plan,
                                      const net::Topology& topology,
                                      int64_t model_bytes,
                                      net::TrafficAccountant* traffic,
-                                     net::FaultInjector* faults);
+                                     net::FaultInjector* faults,
+                                     const std::vector<int>* node_ids = nullptr);
 
 }  // namespace fedmigr::fl
 

@@ -1,0 +1,22 @@
+#include "fl/model_store.h"
+
+#include "nn/serialize.h"
+
+namespace fedmigr::fl {
+
+const ModelRef& ModelStore::Publish(const nn::Sequential& aggregate) {
+  aggregate_ = std::make_shared<const nn::Sequential>(aggregate);
+  flat_ = std::make_shared<const std::vector<float>>(
+      nn::FlattenParams(*aggregate_));
+  return aggregate_;
+}
+
+std::shared_ptr<nn::Sequential> ModelStore::Clone(const nn::Sequential& model) {
+  return std::make_shared<nn::Sequential>(model);
+}
+
+FlatRef ModelStore::Flatten(const nn::Sequential& model) {
+  return std::make_shared<const std::vector<float>>(nn::FlattenParams(model));
+}
+
+}  // namespace fedmigr::fl

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "data/distribution.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -39,6 +41,8 @@ Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
       topology_(std::move(topology)),
       devices_(std::move(devices)),
       policy_(std::move(policy)),
+      partition_(std::move(partition)),
+      clients_(topology_.num_clients()),
       budget_(config_.budget),
       faults_(config_.fault),
       rng_(config_.seed),
@@ -47,40 +51,55 @@ Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
   FEDMIGR_CHECK(test_ != nullptr);
   FEDMIGR_CHECK(policy_ != nullptr);
   const int k = topology_.num_clients();
-  FEDMIGR_CHECK_EQ(static_cast<int>(partition.size()), k);
+  FEDMIGR_CHECK_EQ(static_cast<int>(partition_.size()), k);
   FEDMIGR_CHECK_EQ(static_cast<int>(devices_.size()), k);
   FEDMIGR_CHECK_GE(config_.agg_period, 1);
   FEDMIGR_CHECK_GE(config_.tau, 1);
 
-  // Shared initialization: one global model, clones to every client (the
-  // paper's w_k(0) = w_g(0)).
+  // Shared initialization: one global model, published once into the CoW
+  // store (the paper's w_k(0) = w_g(0) — every client starts as an alias).
   util::Rng model_rng = rng_.Split();
   nn::Sequential global = model_factory(&model_rng);
   model_bytes_ = global.ByteSize();
   model_params_ = global.NumParams();
   server_ = std::make_unique<Server>(global, test_);
-
-  clients_.reserve(static_cast<size_t>(k));
-  for (int i = 0; i < k; ++i) {
-    clients_.push_back(std::make_unique<Client>(
-        i, train_, std::move(partition[static_cast<size_t>(i)]),
-        config_.learning_rate, config_.momentum,
-        config_.seed * 1000003ULL + static_cast<uint64_t>(i)));
-    clients_.back()->SetModel(global);
-    clients_.back()->SetProximalReference(global);
-  }
-  model_distributions_.assign(
-      static_cast<size_t>(k),
-      std::vector<double>(static_cast<size_t>(train_->num_classes()), 0.0));
-  model_samples_.assign(static_cast<size_t>(k), 0.0);
+  store_.Publish(global);
 
   FEDMIGR_CHECK_GT(config_.client_fraction, 0.0);
   FEDMIGR_CHECK_LE(config_.client_fraction, 1.0);
   FEDMIGR_CHECK_GE(config_.dropout_prob, 0.0);
   FEDMIGR_CHECK_LT(config_.dropout_prob, 1.0);
-  participating_.assign(static_cast<size_t>(k), true);
-  available_.assign(static_cast<size_t>(k), true);
-  eligible_.assign(static_cast<size_t>(k), true);
+  FEDMIGR_CHECK_GE(config_.cohort_size, 0);
+  FEDMIGR_CHECK_LE(config_.cohort_size, k);
+
+  if (config_.cohort_size > 0) {
+    // Sharded mode: clients stay lazy until their first cohort; provenance
+    // slots hold empty vectors until then. Cohorts are the participation
+    // sample, so the α-knob must stay at its default.
+    FEDMIGR_CHECK_EQ(config_.client_fraction, 1.0);
+    cohort_sampler_ = std::make_unique<CohortSampler>(config_.seed, k,
+                                                      config_.cohort_size);
+    model_distributions_.assign(static_cast<size_t>(k),
+                                std::vector<double>());
+    participating_.assign(static_cast<size_t>(k), false);
+    available_.assign(static_cast<size_t>(k), false);
+    eligible_.assign(static_cast<size_t>(k), false);
+  } else {
+    identity_.resize(static_cast<size_t>(k));
+    std::iota(identity_.begin(), identity_.end(), 0);
+    model_distributions_.assign(
+        static_cast<size_t>(k),
+        std::vector<double>(static_cast<size_t>(train_->num_classes()), 0.0));
+    for (int i = 0; i < k; ++i) {
+      Client& client = ClientAt(i);
+      client.SetModel(store_.aggregate());
+      client.SetProximalReference(store_.aggregate_flat());
+    }
+    participating_.assign(static_cast<size_t>(k), true);
+    available_.assign(static_cast<size_t>(k), true);
+    eligible_.assign(static_cast<size_t>(k), true);
+  }
+  model_samples_.assign(static_cast<size_t>(k), 0.0);
 
   // Robustness layer. The Mean default installs nothing so the server runs
   // the literal legacy aggregation path; a disabled ReputationTracker is a
@@ -91,6 +110,34 @@ Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
     server_->SetAggregator(aggregator_.get());
   }
   reputation_ = ReputationTracker(config_.robust.reputation, k);
+}
+
+Client& Trainer::ClientAt(int i) {
+  Client* existing = clients_.Get(i);
+  if (existing != nullptr) return *existing;
+  auto& slice = partition_[static_cast<size_t>(i)];
+  Client* created = clients_.Put(
+      i, std::make_unique<Client>(
+             i, train_, std::move(slice), config_.learning_rate,
+             config_.momentum,
+             config_.seed * 1000003ULL + static_cast<uint64_t>(i)));
+  slice = std::vector<int>();  // moved-from slot, leave it truly empty
+  auto& dist = model_distributions_[static_cast<size_t>(i)];
+  if (dist.empty()) {
+    dist.assign(static_cast<size_t>(train_->num_classes()), 0.0);
+  }
+  if (obs::Telemetry::enabled()) {
+    static obs::Gauge* materialized =
+        obs::Registry::Default().GetGauge("fl/materialized_models");
+    materialized->Set(static_cast<double>(clients_.num_materialized()));
+  }
+  return *created;
+}
+
+Client& Trainer::MaterializedClient(int i) const {
+  Client* client = clients_.Get(i);
+  FEDMIGR_CHECK(client != nullptr) << "client " << i << " is not materialized";
+  return *client;
 }
 
 void Trainer::ResampleParticipants() {
@@ -107,10 +154,69 @@ void Trainer::ResampleParticipants() {
   }
 }
 
+void Trainer::BeginRound(int64_t round) {
+  if (round == cohort_round_) return;
+  // Retire the previous cohort. After a snapshot restore the list is gone —
+  // recompute it (the sampler is stateless, so this is the same list).
+  std::vector<int> previous = std::move(cohort_);
+  if (previous.empty() && round > 0) {
+    previous = cohort_sampler_->Sample(round - 1);
+  }
+  for (int i : previous) {
+    participating_[static_cast<size_t>(i)] = false;
+    available_[static_cast<size_t>(i)] = false;
+    eligible_[static_cast<size_t>(i)] = false;
+  }
+  cohort_ = cohort_sampler_->Sample(round);
+  cohort_round_ = round;
+
+  // Cohort-mode Model Distribution: the aggregate travels only to members
+  // that do not already hold the current block (a re-sampled client that
+  // kept its alias downloads nothing). Deliveries are charged like the
+  // legacy distribution loop; a lost download leaves the member stale (or
+  // without a model at all on its first round — it then sits the round out).
+  double download_seconds = 0.0;
+  for (int i : cohort_) {
+    participating_[static_cast<size_t>(i)] = true;
+    Client& client = ClientAt(i);
+    if (client.model_ref() == store_.aggregate()) continue;
+    const net::TransferResult res = faults_.Transfer(
+        net::kServerId, i, model_bytes_, topology_, &traffic_);
+    download_seconds = config_.wan_shared
+                           ? download_seconds + res.seconds
+                           : std::max(download_seconds, res.seconds);
+    budget_.ConsumeBandwidth(static_cast<double>(res.bytes));
+    if (!res.status.ok()) continue;
+    if (res.corrupted && CorruptedPayloadRejected(server_->global_model())) {
+      faults_.CountCorruptRejected();
+      continue;
+    }
+    client.SetModel(store_.aggregate());
+    client.SetProximalReference(store_.aggregate_flat());
+    auto& dist = model_distributions_[static_cast<size_t>(i)];
+    std::fill(dist.begin(), dist.end(), 0.0);
+    model_samples_[static_cast<size_t>(i)] = 0.0;
+  }
+  budget_.ConsumeTime(download_seconds);
+}
+
 void Trainer::RollAvailability() {
   // Crash/straggler state rolls on the injector's own RNG stream, so the
   // trainer's stream (and thus the fault-free trajectory) is untouched.
   faults_.BeginEpoch(num_clients());
+  if (cohort_mode()) {
+    // Only cohort members can be available; everyone else keeps the false
+    // bits BeginRound left behind.
+    for (int i : cohort_) {
+      const size_t s = static_cast<size_t>(i);
+      available_[s] = participating_[s] &&
+                      (config_.dropout_prob == 0.0 ||
+                       !rng_.Bernoulli(config_.dropout_prob)) &&
+                      !faults_.IsCrashed(i);
+      eligible_[s] = available_[s] && reputation_.Eligible(i);
+    }
+    return;
+  }
   for (size_t i = 0; i < available_.size(); ++i) {
     available_[i] = participating_[i] &&
                     (config_.dropout_prob == 0.0 ||
@@ -131,29 +237,34 @@ void Trainer::ApplyDp(nn::Sequential* model) {
 
 double Trainer::LocalUpdatePhase(double* phase_seconds) {
   FEDMIGR_TRACE_SCOPE("fl/local_update");
-  const int k = num_clients();
+  const std::vector<int>& active = active_clients();
+  const int n = static_cast<int>(active.size());
   LocalUpdateOptions options;
   options.epochs = config_.tau;
   options.batch_size = config_.batch_size;
   options.fedprox_mu = config_.fedprox_mu;
 
-  std::vector<LocalUpdateResult> results(static_cast<size_t>(k));
-  pool_.ParallelFor(k, [&](int i) {
+  std::vector<LocalUpdateResult> results(static_cast<size_t>(n));
+  pool_.ParallelFor(n, [&](int t) {
+    const int i = active[static_cast<size_t>(t)];
     if (!available_[static_cast<size_t>(i)]) return;
-    results[static_cast<size_t>(i)] =
-        clients_[static_cast<size_t>(i)]->LocalUpdate(options);
+    Client& client = MaterializedClient(i);
+    if (!client.has_model()) return;  // first-round sync download lost
+    results[static_cast<size_t>(t)] = client.LocalUpdate(options);
   });
 
   double loss_weighted = 0.0;
   double total_samples = 0.0;
   double slowest = 0.0;
-  for (int i = 0; i < k; ++i) {
+  for (int t = 0; t < n; ++t) {
+    const int i = active[static_cast<size_t>(t)];
     if (!available_[static_cast<size_t>(i)]) continue;
-    const auto& res = results[static_cast<size_t>(i)];
-    const double n = static_cast<double>(clients_[static_cast<size_t>(i)]
-                                             ->num_samples());
-    loss_weighted += res.mean_loss * n;
-    total_samples += n;
+    Client& client = MaterializedClient(i);
+    if (!client.has_model()) continue;
+    const auto& res = results[static_cast<size_t>(t)];
+    const double samples = static_cast<double>(client.num_samples());
+    loss_weighted += res.mean_loss * samples;
+    total_samples += samples;
     budget_.ConsumeCompute(static_cast<double>(res.samples_processed));
     slowest = std::max(
         slowest, net::ComputeSeconds(devices_[static_cast<size_t>(i)],
@@ -161,12 +272,11 @@ double Trainer::LocalUpdatePhase(double* phase_seconds) {
                      faults_.SlowdownFactor(i));
     // The resident model absorbs this client's distribution. Clients with
     // no local data (possible under extreme partitions) change nothing.
-    if (n > 0.0) {
+    if (samples > 0.0) {
       auto& dist = model_distributions_[static_cast<size_t>(i)];
-      dist = data::MixDistributions(
-          dist, model_samples_[static_cast<size_t>(i)],
-          clients_[static_cast<size_t>(i)]->label_distribution(), n);
-      model_samples_[static_cast<size_t>(i)] += n;
+      dist = data::MixDistributions(dist, model_samples_[static_cast<size_t>(i)],
+                                    client.label_distribution(), samples);
+      model_samples_[static_cast<size_t>(i)] += samples;
     }
   }
   // Byzantine tampering happens after the honest local update, in place, so
@@ -175,13 +285,14 @@ double Trainer::LocalUpdatePhase(double* phase_seconds) {
   // serially (outside the ParallelFor) from the injector's dedicated attack
   // stream: deterministic, thread-safe, invisible to the trainer RNG.
   if (config_.fault.attacks_enabled()) {
-    for (int i = 0; i < k; ++i) {
+    for (int i : active) {
       if (!available_[static_cast<size_t>(i)] || !faults_.IsAttacker(i)) {
         continue;
       }
+      Client& client = MaterializedClient(i);
+      if (!client.has_model()) continue;
       ApplyAttack(config_.fault.attack_mode, config_.fault.attack_scale,
-                  faults_.attack_rng(),
-                  &clients_[static_cast<size_t>(i)]->model());
+                  faults_.attack_rng(), &client.mutable_model());
       CountAttackedUpdate(&robust_counters_);
     }
   }
@@ -196,15 +307,20 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
   const int k = num_clients();
   const bool faulty = faults_.enabled();
   const double upload_deadline = config_.fault.upload_deadline_s;
-  // Upload: every healthy α-selected client sends its model over the WAN
+  // Upload: every healthy selected client sends its model over the WAN
   // through the fault-aware path (retries/backoff are charged to traffic
   // and clock). A shared WAN serializes the uploads; independent paths
   // overlap them. Only uploads that survive the link, arrive before the
   // straggler deadline and pass the checksum enter the average; the round
-  // is reweighted over whatever arrived.
+  // is reweighted over whatever arrived. Under cohort scheduling only the
+  // C active members upload, and the sample weights below are theirs alone:
+  // FedAvg partial participation, where the round average is the
+  // sample-weighted mean over the cohort (the 1/C participation factor
+  // cancels under the weight normalization).
+  const std::vector<int>& active = active_clients();
   double upload_seconds = 0.0;
   std::vector<bool> arrived(static_cast<size_t>(k), false);
-  for (int i = 0; i < k; ++i) {
+  for (int i : active) {
     if (!participating_[static_cast<size_t>(i)]) continue;
     if (faulty && faults_.IsCrashed(i)) continue;
     if (!reputation_.Eligible(i)) {
@@ -213,7 +329,9 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
       CountQuarantineExcluded(&robust_counters_);
       continue;
     }
-    ApplyDp(&clients_[static_cast<size_t>(i)]->model());
+    Client& client = MaterializedClient(i);
+    if (!client.has_model()) continue;
+    if (config_.dp.enabled()) ApplyDp(&client.mutable_model());
     const net::TransferResult res = faults_.Transfer(
         i, net::kServerId, model_bytes_, topology_, &traffic_);
     const double arrival =
@@ -228,8 +346,7 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
       faults_.CountDroppedStraggler();
       continue;
     }
-    if (res.corrupted &&
-        CorruptedPayloadRejected(clients_[static_cast<size_t>(i)]->model())) {
+    if (res.corrupted && CorruptedPayloadRejected(client.model())) {
       faults_.CountCorruptRejected();
       continue;
     }
@@ -242,12 +359,12 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
   std::vector<const nn::Sequential*> models;
   std::vector<double> weights;
   std::vector<int> uploaders;
-  models.reserve(static_cast<size_t>(k));
-  for (int i = 0; i < k; ++i) {
+  models.reserve(active.size());
+  for (int i : active) {
     if (!arrived[static_cast<size_t>(i)]) continue;
-    models.push_back(&clients_[static_cast<size_t>(i)]->model());
-    weights.push_back(
-        static_cast<double>(clients_[static_cast<size_t>(i)]->num_samples()));
+    const Client& client = MaterializedClient(i);
+    models.push_back(&client.model());
+    weights.push_back(static_cast<double>(client.num_samples()));
     uploaders.push_back(i);
   }
   // Ingest screening against the last aggregate: the non-finite gate always
@@ -279,8 +396,21 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
     eval = server_->EvaluateGlobal(config_.batch_size * 2);
   }
 
+  // Publish the (possibly refreshed) aggregate into the CoW store: one deep
+  // copy + one flatten per aggregation, shared by every alias.
+  store_.Publish(server_->global_model());
+
+  if (cohort_mode()) {
+    // Distribution is deferred to the next round's BeginRound sync — only
+    // the clients that will actually train download the new aggregate.
+    budget_.ConsumeTime(upload_seconds);
+    return eval;
+  }
+
   // Distribution: global model back to every reachable client; a client
-  // whose download is lost keeps training on its stale model.
+  // whose download is lost keeps training on its stale model. Each
+  // successful delivery installs an alias of the published block — O(1)
+  // per client instead of a deep copy.
   double download_seconds = 0.0;
   std::vector<bool> refreshed(static_cast<size_t>(k), false);
   for (int i = 0; i < k; ++i) {
@@ -296,9 +426,9 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
       faults_.CountCorruptRejected();
       continue;
     }
-    clients_[static_cast<size_t>(i)]->SetModel(server_->global_model());
-    clients_[static_cast<size_t>(i)]->SetProximalReference(
-        server_->global_model());
+    Client& client = MaterializedClient(i);
+    client.SetModel(store_.aggregate());
+    client.SetProximalReference(store_.aggregate_flat());
     refreshed[static_cast<size_t>(i)] = true;
   }
   budget_.ConsumeTime(upload_seconds + download_seconds);
@@ -314,14 +444,53 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
   return eval;
 }
 
+int Trainer::ApplyMigrationMoves(const MigrationPlan& plan,
+                                 const MigrationExecution& exec,
+                                 const std::vector<int>* node_ids) {
+  // Capture every source's payload before installing anything: plans can
+  // chain (a <- b while b <- c), so installs must read pre-move state. The
+  // model capture is a CoW share — the source block is never copied, and
+  // demoting the source to a non-owning alias guarantees its later writes
+  // can't leak into the receiver.
+  struct Move {
+    int dst = 0;
+    ModelRef model;
+    std::vector<double> dist;
+    double samples = 0.0;
+  };
+  std::vector<Move> moves;
+  const int n = static_cast<int>(plan.incoming.size());
+  for (int j = 0; j < n; ++j) {
+    const int src_local = plan.incoming[static_cast<size_t>(j)];
+    if (src_local == j || !exec.delivered[static_cast<size_t>(j)]) continue;
+    const int src =
+        node_ids != nullptr ? (*node_ids)[static_cast<size_t>(src_local)]
+                            : src_local;
+    Client& source = MaterializedClient(src);
+    if (!source.has_model()) continue;
+    Move move;
+    move.dst = node_ids != nullptr ? (*node_ids)[static_cast<size_t>(j)] : j;
+    move.model = source.share_model();
+    move.dist = model_distributions_[static_cast<size_t>(src)];
+    move.samples = model_samples_[static_cast<size_t>(src)];
+    moves.push_back(std::move(move));
+  }
+  for (Move& move : moves) {
+    MaterializedClient(move.dst).SetModel(std::move(move.model));
+    model_distributions_[static_cast<size_t>(move.dst)] = std::move(move.dist);
+    model_samples_[static_cast<size_t>(move.dst)] = move.samples;
+  }
+  return static_cast<int>(moves.size());
+}
+
 int Trainer::MigrationPhase(int epoch, double loss) {
+  if (cohort_mode()) return CohortMigrationPhase(epoch, loss);
   FEDMIGR_TRACE_SCOPE("fl/migrate");
   const int k = num_clients();
   std::vector<std::vector<double>> client_dists;
   client_dists.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) {
-    client_dists.push_back(clients_[static_cast<size_t>(i)]
-                               ->label_distribution());
+    client_dists.push_back(MaterializedClient(i).label_distribution());
   }
 
   PolicyContext ctx;
@@ -356,7 +525,7 @@ int Trainer::MigrationPhase(int epoch, double loss) {
     for (size_t j = 0; j < plan.incoming.size(); ++j) {
       const int src = plan.incoming[j];
       if (src != static_cast<int>(j)) {
-        ApplyDp(&clients_[static_cast<size_t>(src)]->model());
+        ApplyDp(&MaterializedClient(src).mutable_model());
       }
     }
   }
@@ -371,7 +540,7 @@ int Trainer::MigrationPhase(int epoch, double loss) {
   for (size_t j = 0; j < exec.delivered.size(); ++j) {
     if (!exec.delivered[j] || !exec.corrupted[j]) continue;
     const int src = plan.incoming[j];
-    if (CorruptedPayloadRejected(clients_[static_cast<size_t>(src)]->model())) {
+    if (CorruptedPayloadRejected(MaterializedClient(src).model())) {
       faults_.CountCorruptRejected();
       exec.delivered[j] = false;
     }
@@ -379,42 +548,107 @@ int Trainer::MigrationPhase(int epoch, double loss) {
 
   // Move the replicas (and their provenance) according to the plan; a
   // failed move degrades gracefully — the destination keeps its model.
-  std::vector<nn::Sequential> snapshot;
-  snapshot.reserve(static_cast<size_t>(k));
-  for (int i = 0; i < k; ++i) {
-    snapshot.push_back(clients_[static_cast<size_t>(i)]->model());
+  return ApplyMigrationMoves(plan, exec, /*node_ids=*/nullptr);
+}
+
+int Trainer::CohortMigrationPhase(int epoch, double loss) {
+  FEDMIGR_TRACE_SCOPE("fl/migrate");
+  const int n = static_cast<int>(cohort_.size());
+  if (n == 0) return 0;
+  // Cohort-local sub-problem: policies (including the DRL planner, whose
+  // candidate features are fixed-dimension) size everything from the
+  // context, so a C-client view drives them untouched. The sub-topology
+  // inherits LAN membership and base bandwidths; per-link multiplier
+  // customizations only affect the executed cost below, which runs against
+  // the real topology under global ids.
+  std::vector<std::vector<double>> client_dists;
+  std::vector<std::vector<double>> model_dists;
+  std::vector<bool> local_eligible(static_cast<size_t>(n));
+  client_dists.reserve(static_cast<size_t>(n));
+  model_dists.reserve(static_cast<size_t>(n));
+  net::TopologyConfig sub_config;
+  const net::TopologyConfig& full = topology_.config();
+  sub_config.intra_lan_mbps = full.intra_lan_mbps;
+  sub_config.cross_lan_mbps = full.cross_lan_mbps;
+  sub_config.wan_mbps = full.wan_mbps;
+  sub_config.link_latency_s = full.link_latency_s;
+  sub_config.lan_of.reserve(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const int i = cohort_[static_cast<size_t>(t)];
+    client_dists.push_back(MaterializedClient(i).label_distribution());
+    model_dists.push_back(model_distributions_[static_cast<size_t>(i)]);
+    local_eligible[static_cast<size_t>(t)] =
+        eligible_[static_cast<size_t>(i)];
+    sub_config.lan_of.push_back(topology_.lan_of(i));
   }
-  const auto dist_snapshot = model_distributions_;
-  const auto samples_snapshot = model_samples_;
-  int applied = 0;
-  for (int j = 0; j < k; ++j) {
+  net::Topology sub_topology(std::move(sub_config));
+
+  PolicyContext ctx;
+  ctx.epoch = epoch;
+  ctx.topology = &sub_topology;
+  ctx.model_bytes = model_bytes_;
+  ctx.client_distributions = &client_dists;
+  ctx.model_distributions = &model_dists;
+  ctx.global_loss = loss;
+  ctx.budget = &budget_;
+  ctx.rng = &rng_;
+  ctx.available = &local_eligible;
+
+  MigrationPlan plan = policy_->Plan(ctx);
+  FEDMIGR_CHECK_EQ(static_cast<int>(plan.incoming.size()), n);
+  for (int j = 0; j < n; ++j) {
     const int src = plan.incoming[static_cast<size_t>(j)];
-    if (src == j || !exec.delivered[static_cast<size_t>(j)]) continue;
-    clients_[static_cast<size_t>(j)]->SetModel(
-        snapshot[static_cast<size_t>(src)]);
-    model_distributions_[static_cast<size_t>(j)] =
-        dist_snapshot[static_cast<size_t>(src)];
-    model_samples_[static_cast<size_t>(j)] =
-        samples_snapshot[static_cast<size_t>(src)];
-    ++applied;
+    if (src != j && (!local_eligible[static_cast<size_t>(j)] ||
+                     !local_eligible[static_cast<size_t>(src)])) {
+      plan.incoming[static_cast<size_t>(j)] = j;
+    }
   }
-  return applied;
+  if (plan.IsIdentity()) return 0;
+
+  if (config_.dp.enabled()) {
+    for (size_t j = 0; j < plan.incoming.size(); ++j) {
+      const int src = plan.incoming[j];
+      if (src != static_cast<int>(j)) {
+        ApplyDp(&MaterializedClient(cohort_[static_cast<size_t>(src)])
+                     .mutable_model());
+      }
+    }
+  }
+
+  // Execution happens on the real fleet: `cohort_` maps the plan's local
+  // index space back to global ids so traffic and fault accounting land on
+  // the actual links.
+  MigrationExecution exec = ExecuteWithFaults(
+      plan, topology_, model_bytes_, &traffic_, &faults_, &cohort_);
+  budget_.ConsumeBandwidth(static_cast<double>(exec.cost.bytes));
+  budget_.ConsumeTime(exec.cost.seconds);
+
+  for (size_t j = 0; j < exec.delivered.size(); ++j) {
+    if (!exec.delivered[j] || !exec.corrupted[j]) continue;
+    const int src = cohort_[static_cast<size_t>(plan.incoming[j])];
+    if (CorruptedPayloadRejected(MaterializedClient(src).model())) {
+      faults_.CountCorruptRejected();
+      exec.delivered[j] = false;
+    }
+  }
+
+  return ApplyMigrationMoves(plan, exec, &cohort_);
 }
 
 Evaluation Trainer::VirtualEvaluation() {
   FEDMIGR_TRACE_SCOPE("fl/evaluate");
-  const int k = num_clients();
   std::vector<const nn::Sequential*> models;
   std::vector<double> weights;
-  for (int i = 0; i < k; ++i) {
+  for (int i : active_clients()) {
     // Quarantined replicas and non-finite models are measurement poison:
     // one NaN coordinate would turn the whole virtual aggregate (and the
     // reported accuracy) into NaN. Both gates are no-ops on a clean run.
     if (!reputation_.Eligible(i)) continue;
-    if (!ParamsFinite(clients_[static_cast<size_t>(i)]->model())) continue;
-    models.push_back(&clients_[static_cast<size_t>(i)]->model());
-    weights.push_back(
-        static_cast<double>(clients_[static_cast<size_t>(i)]->num_samples()));
+    const Client& client = MaterializedClient(i);
+    if (!client.has_model()) continue;
+    if (!ParamsFinite(client.model())) continue;
+    models.push_back(&client.model());
+    weights.push_back(static_cast<double>(client.num_samples()));
   }
   if (models.empty()) return server_->EvaluateGlobal(config_.batch_size * 2);
   nn::Sequential aggregate = server_->global_model();
@@ -433,7 +667,19 @@ RunResult Trainer::Run() {
     record.epoch = epoch;
 
     // A new global iteration starts right after each aggregation.
-    if ((epoch - 1) % config_.agg_period == 0) ResampleParticipants();
+    if (cohort_mode()) {
+      const int64_t round = (epoch - 1) / config_.agg_period;
+      if ((epoch - 1) % config_.agg_period == 0) {
+        BeginRound(round);
+      } else if (round != cohort_round_) {
+        // Resumed mid-round: the members' state came back with the
+        // snapshot; only the (stateless) cohort list needs recomputing.
+        cohort_ = cohort_sampler_->Sample(round);
+        cohort_round_ = round;
+      }
+    } else if ((epoch - 1) % config_.agg_period == 0) {
+      ResampleParticipants();
+    }
     RollAvailability();
 
     double compute_before = budget_.compute_used();
@@ -500,6 +746,7 @@ RunResult Trainer::Run() {
       migrations_applied->Add(record.migrations);
       train_loss->Set(record.train_loss);
       test_accuracy->Set(record.test_accuracy);
+      obs::UpdateResourceGauges();
     }
 
     result_.best_accuracy =
@@ -584,7 +831,11 @@ namespace {
 
 // Bumped whenever the trainer state layout changes.
 // v2: robustness counters + reputation state appended after the policy blob.
-constexpr uint32_t kTrainerStateVersion = 2;
+// v3: cohort_size joins the fingerprint; per-client records gain a kind
+//     byte (0 = lazy, never materialized; 1 = materialized) and a flag byte
+//     that elides the parameter payload when the replica aliases the
+//     current aggregate block (see Client::SaveState).
+constexpr uint32_t kTrainerStateVersion = 3;
 
 void WriteEpochRecord(util::ByteWriter* writer, const EpochRecord& record) {
   writer->WriteI32(record.epoch);
@@ -621,6 +872,7 @@ void Trainer::SaveState(util::ByteWriter* writer) const {
   writer->WriteU64(config_.seed);
   writer->WriteI32(config_.agg_period);
   writer->WriteI32(config_.max_epochs);
+  writer->WriteI32(config_.cohort_size);
 
   // Run progress and accumulated result.
   writer->WriteI32(progress_.next_epoch);
@@ -653,10 +905,22 @@ void Trainer::SaveState(util::ByteWriter* writer) const {
   }
   writer->WriteF64Vector(model_samples_);
 
-  // Models: server, then every client.
+  // Models: server, then every client slot. Lazy clients write one byte;
+  // materialized clients whose replica still aliases the current aggregate
+  // block skip the parameter payload (the block is rebuilt from the server
+  // model on load). The cohort list itself is not stored — the sampler is
+  // stateless in (seed, round).
   nn::WriteParams(writer, server_->global_model());
-  for (const auto& client : clients_) {
-    client->SaveState(writer);
+  const ModelRef& aggregate = store_.aggregate();
+  const FlatRef& aggregate_flat = store_.aggregate_flat();
+  for (int i = 0; i < num_clients(); ++i) {
+    const Client* client = clients_.Get(i);
+    if (client == nullptr) {
+      writer->WriteU8(0);
+      continue;
+    }
+    writer->WriteU8(1);
+    client->SaveState(writer, aggregate, aggregate_flat);
   }
 
   // Policy state rides as a length-prefixed blob so the container framing
@@ -683,16 +947,19 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
   uint64_t seed = 0;
   int32_t agg_period = 0;
   int32_t max_epochs = 0;
+  int32_t cohort_size = 0;
   FEDMIGR_RETURN_IF_ERROR(reader->ReadString(&scheme));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&clients));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&params));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&seed));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&agg_period));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&max_epochs));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&cohort_size));
   if (scheme != config_.scheme_name ||
       clients != static_cast<uint32_t>(num_clients()) ||
       params != model_params_ || seed != config_.seed ||
-      agg_period != config_.agg_period || max_epochs != config_.max_epochs) {
+      agg_period != config_.agg_period || max_epochs != config_.max_epochs ||
+      cohort_size != config_.cohort_size) {
     return util::Status::InvalidArgument(
         "snapshot fingerprint does not match this trainer");
   }
@@ -764,13 +1031,34 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
 
   nn::Sequential global = server_->global_model();
   FEDMIGR_RETURN_IF_ERROR(nn::ReadParams(reader, &global));
+  // Re-publish before the client records: aliased replicas re-attach to
+  // this block (same caveat as the in-place client loads below — the store
+  // is already mutated if a later record turns out corrupt; the snapshot
+  // layer's CRC gate runs before any of this).
+  store_.Publish(global);
 
   // Client and policy state cannot be staged without copying whole models,
   // so they are validated structurally while loading; the guarantee that
   // holds for the full trainer is therefore "no partial load on corrupt
   // container" at the snapshot layer, where a CRC gate runs first.
-  for (auto& client : clients_) {
-    FEDMIGR_RETURN_IF_ERROR(client->LoadState(reader));
+  for (int i = 0; i < num_clients(); ++i) {
+    uint8_t kind = 0;
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadU8(&kind));
+    if (kind == 0) {
+      Client* materialized = clients_.Get(i);
+      if (materialized != nullptr) {
+        // The snapshot predates this client's first cohort: reclaim the
+        // data slice and return the slot to the lazy state.
+        partition_[static_cast<size_t>(i)] = materialized->indices();
+        clients_.Evict(i);
+      }
+      continue;
+    }
+    if (kind != 1) {
+      return util::Status::InvalidArgument("unknown client record kind");
+    }
+    FEDMIGR_RETURN_IF_ERROR(ClientAt(i).LoadState(reader, store_.aggregate(),
+                                                  store_.aggregate_flat()));
   }
   std::vector<uint8_t> policy_bytes;
   FEDMIGR_RETURN_IF_ERROR(reader->ReadBytes(&policy_bytes));
@@ -799,6 +1087,10 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
     eligible_[i] =
         available_[i] && reputation_.Eligible(static_cast<int>(i));
   }
+  // Force the next Run() to recompute the cohort of whatever round it
+  // resumes into.
+  cohort_.clear();
+  cohort_round_ = -1;
   return util::Status::Ok();
 }
 

@@ -26,6 +26,8 @@
 #include "data/partition.h"
 #include "dp/gaussian.h"
 #include "fl/client.h"
+#include "fl/cohort.h"
+#include "fl/model_store.h"
 #include "fl/policies.h"
 #include "fl/robust.h"
 #include "fl/server.h"
@@ -54,6 +56,15 @@ struct TrainerConfig {
   // Fraction α of clients selected per global iteration (Sec. II-A's
   // FedAvg knob). 1.0 = all clients, the paper's evaluation setting.
   double client_fraction = 1.0;
+  // Partial-participation cohort scheduling for fleet-scale runs. 0 keeps
+  // the legacy full-participation loop (bit-identical to pre-cohort
+  // builds). A positive value C selects a deterministic cohort of C clients
+  // per aggregation round (seeded by `seed` and the round index); only
+  // cohort members are materialized, trained, screened, aggregated and
+  // migrated, so per-epoch cost is O(C) and memory is O(C) model blocks on
+  // top of the shared aggregate. Mutually exclusive with client_fraction
+  // < 1 (cohorts *are* the participation sample).
+  int cohort_size = 0;
   // Per-epoch probability that a client is unavailable (edge nodes
   // "dynamically join/leave the system", Sec. III-C). An unavailable
   // client skips local updating and neither sends nor receives migrations
@@ -153,7 +164,13 @@ class Trainer {
   // run would have produced.
   RunResult Run();
 
-  int num_clients() const { return static_cast<int>(clients_.size()); }
+  int num_clients() const { return clients_.size(); }
+
+  // Sharded-simulator introspection (gauges, scalability tests).
+  int num_materialized_clients() const { return clients_.num_materialized(); }
+  long aggregate_aliases() const { return store_.aggregate_use_count(); }
+  // Active cohort of the current round; empty when cohorts are disabled.
+  const std::vector<int>& cohort() const { return cohort_; }
 
   // Called after each completed epoch (all bookkeeping and policy feedback
   // done). Returning false stops the run gracefully: Run() returns with
@@ -177,8 +194,8 @@ class Trainer {
   util::Status LoadState(util::ByteReader* reader);
 
  private:
-  // One Local Updating phase across all clients; returns weighted mean loss
-  // and advances time/compute budgets.
+  // One Local Updating phase across the active clients; returns weighted
+  // mean loss and advances time/compute budgets.
   double LocalUpdatePhase(double* phase_seconds);
   // Uploads, aggregates, redistributes; evaluates only when `evaluate` is
   // set (evaluation is measurement, not simulation, and is the dominant
@@ -186,11 +203,35 @@ class Trainer {
   Evaluation AggregationPhase(bool evaluate);
   // Plans and executes one migration round; returns number of moves.
   int MigrationPhase(int epoch, double loss);
+  // Cohort-local migration: plans over the C active clients against a
+  // cohort-induced sub-topology, then executes against the real fleet.
+  int CohortMigrationPhase(int epoch, double loss);
   // Weighted average of current local models, evaluated on the test set
   // (measurement only; no traffic is charged).
   Evaluation VirtualEvaluation();
 
   void ApplyDp(nn::Sequential* model);
+
+  // True when partial-participation cohort scheduling is on.
+  bool cohort_mode() const { return cohort_sampler_ != nullptr; }
+  // The ids every per-epoch loop iterates: the current cohort, or the
+  // cached identity list [0, K) in legacy mode.
+  const std::vector<int>& active_clients() const {
+    return cohort_mode() ? cohort_ : identity_;
+  }
+  // Client i, materialized on demand (cohort mode) from the retained
+  // partition slice with the same seed it would have received eagerly.
+  Client& ClientAt(int i);
+  // Client i without materializing; CHECK-fails if still lazy.
+  Client& MaterializedClient(int i) const;
+  // Starts aggregation round `round`: retires the previous cohort, samples
+  // the new one, materializes its members and delivers the current
+  // aggregate to them (the cohort-mode Model Distribution).
+  void BeginRound(int64_t round);
+  // Applies the CoW model moves shared by both migration paths.
+  int ApplyMigrationMoves(const MigrationPlan& plan,
+                          const MigrationExecution& exec,
+                          const std::vector<int>* node_ids);
 
   TrainerConfig config_;
   const data::Dataset* train_;
@@ -198,7 +239,16 @@ class Trainer {
   net::Topology topology_;
   std::vector<net::DeviceProfile> devices_;
   std::unique_ptr<MigrationPolicy> policy_;
-  std::vector<std::unique_ptr<Client>> clients_;
+  // Retained for lazy materialization; slot i is moved into client i when
+  // it first joins a cohort (and reclaimed if a snapshot restore returns
+  // the client to the lazy state).
+  data::Partition partition_;
+  ShardedClients clients_;
+  ModelStore store_;
+  std::unique_ptr<CohortSampler> cohort_sampler_;
+  std::vector<int> cohort_;       // sorted ids of the current round's cohort
+  int64_t cohort_round_ = -1;     // round cohort_ belongs to
+  std::vector<int> identity_;     // [0, K) — legacy active list
   std::unique_ptr<Server> server_;
   net::Budget budget_;
   net::TrafficAccountant traffic_;

@@ -33,8 +33,9 @@ Topology::Topology(TopologyConfig config) : config_(std::move(config)) {
     FEDMIGR_CHECK_GE(lan, 0);
     num_lans_ = std::max(num_lans_, lan + 1);
   }
-  const size_t k = config_.lan_of.size();
-  multipliers_.assign(k * k, 1.0);
+  // The dense K x K multiplier table is allocated lazily on the first
+  // SetLinkMultiplier call: at fleet scale (K = 10^6) the table would be
+  // 8 TB, and the sharded simulator never customizes links there.
 }
 
 int Topology::lan_of(int client) const {
@@ -43,8 +44,9 @@ int Topology::lan_of(int client) const {
   return config_.lan_of[static_cast<size_t>(client)];
 }
 
-int Topology::LinkIndex(int a, int b) const {
-  return a * num_clients() + b;
+int64_t Topology::LinkIndex(int a, int b) const {
+  // 64-bit: a * K + b overflows int once K exceeds ~46k clients.
+  return static_cast<int64_t>(a) * num_clients() + b;
 }
 
 double Topology::BandwidthMbps(int src, int dst) const {
@@ -66,11 +68,16 @@ void Topology::SetLinkMultiplier(int a, int b, double multiplier) {
   FEDMIGR_CHECK_GE(b, 0);
   FEDMIGR_CHECK_NE(a, b);
   FEDMIGR_CHECK_GT(multiplier, 0.0);
+  if (multipliers_.empty()) {
+    const size_t k = config_.lan_of.size();
+    multipliers_.assign(k * k, 1.0);
+  }
   multipliers_[static_cast<size_t>(LinkIndex(a, b))] = multiplier;
   multipliers_[static_cast<size_t>(LinkIndex(b, a))] = multiplier;
 }
 
 double Topology::LinkMultiplier(int a, int b) const {
+  if (multipliers_.empty()) return 1.0;
   return multipliers_[static_cast<size_t>(LinkIndex(a, b))];
 }
 

@@ -61,11 +61,13 @@ class Topology {
   const TopologyConfig& config() const { return config_; }
 
  private:
-  int LinkIndex(int a, int b) const;
+  int64_t LinkIndex(int a, int b) const;
 
   TopologyConfig config_;
   int num_lans_ = 0;
-  // Dense K x K multiplier table for C2C links; identity by default.
+  // Dense K x K multiplier table for C2C links; empty means identity. Only
+  // allocated on the first SetLinkMultiplier call — a million-client fleet
+  // with uniform links must not pay K^2 doubles.
   std::vector<double> multipliers_;
 };
 

@@ -1,0 +1,32 @@
+#include "obs/resource.h"
+
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace fedmigr::obs {
+
+int64_t PeakRssBytes() {
+  // VmHWM is reported in kB. Reading /proc is observation-only (the
+  // raw-file-write lint bans writes, not reads).
+  std::ifstream status("/proc/self/status");
+  std::string token;
+  while (status >> token) {
+    if (token == "VmHWM:") {
+      int64_t kb = 0;
+      if (status >> kb) return kb * 1024;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+void UpdateResourceGauges() {
+  if (!Telemetry::enabled()) return;
+  static Gauge* peak_rss = Registry::Default().GetGauge("proc/peak_rss_bytes");
+  peak_rss->Set(static_cast<double>(PeakRssBytes()));
+}
+
+}  // namespace fedmigr::obs

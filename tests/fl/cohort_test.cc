@@ -1,0 +1,97 @@
+// Cohort sampler and sharded client container: determinism, distribution
+// sanity and lazy materialization bookkeeping.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fl/cohort.h"
+
+namespace fedmigr::fl {
+namespace {
+
+TEST(CohortSamplerTest, SampleIsDeterministicInSeedAndRound) {
+  const CohortSampler sampler(42, 10000, 100);
+  for (int64_t round : {0, 1, 7, 1000}) {
+    const std::vector<int> a = sampler.Sample(round);
+    const std::vector<int> b = sampler.Sample(round);
+    EXPECT_EQ(a, b) << "round " << round;
+    // A second sampler with identical parameters agrees (no hidden state).
+    const CohortSampler twin(42, 10000, 100);
+    EXPECT_EQ(twin.Sample(round), a) << "round " << round;
+  }
+}
+
+TEST(CohortSamplerTest, SampleIsSortedUniqueAndInRange) {
+  const CohortSampler sampler(7, 5000, 64);
+  for (int64_t round = 0; round < 50; ++round) {
+    const std::vector<int> cohort = sampler.Sample(round);
+    ASSERT_EQ(cohort.size(), 64u);
+    std::set<int> unique(cohort.begin(), cohort.end());
+    EXPECT_EQ(unique.size(), cohort.size()) << "round " << round;
+    EXPECT_TRUE(std::is_sorted(cohort.begin(), cohort.end()));
+    EXPECT_GE(cohort.front(), 0);
+    EXPECT_LT(cohort.back(), 5000);
+  }
+}
+
+TEST(CohortSamplerTest, RoundsAndSeedsDecorrelate) {
+  const CohortSampler sampler(11, 1000, 50);
+  EXPECT_NE(sampler.Sample(0), sampler.Sample(1));
+  const CohortSampler other_seed(12, 1000, 50);
+  EXPECT_NE(other_seed.Sample(0), sampler.Sample(0));
+}
+
+TEST(CohortSamplerTest, EveryClientIsEventuallySampled) {
+  // With C = K/10 the expected wait for any given client is ~10 rounds; 400
+  // rounds leaves the miss probability at ~(0.9)^400 per client.
+  const int k = 200;
+  const CohortSampler sampler(3, k, 20);
+  std::set<int> seen;
+  for (int64_t round = 0; round < 400 && static_cast<int>(seen.size()) < k;
+       ++round) {
+    for (int i : sampler.Sample(round)) seen.insert(i);
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), k);
+}
+
+TEST(CohortSamplerTest, FullCohortIsIdentity) {
+  const CohortSampler sampler(5, 17, 17);
+  const std::vector<int> cohort = sampler.Sample(9);
+  ASSERT_EQ(cohort.size(), 17u);
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(cohort[static_cast<size_t>(i)], i);
+}
+
+TEST(ShardedClientsTest, LazyUntilPutAndCountsMaterialized) {
+  data::SyntheticSpec spec = data::C10Spec();
+  spec.train_per_class = 4;
+  spec.test_per_class = 2;
+  const data::TrainTest data = data::GenerateSynthetic(spec);
+
+  // Cross a shard boundary (shards hold 1024 clients).
+  ShardedClients clients(3000);
+  EXPECT_EQ(clients.size(), 3000);
+  EXPECT_EQ(clients.num_materialized(), 0);
+  EXPECT_EQ(clients.Get(0), nullptr);
+  EXPECT_EQ(clients.Get(2999), nullptr);
+
+  for (int i : {0, 1023, 1024, 2999}) {
+    Client* put = clients.Put(
+        i, std::make_unique<Client>(i, &data.train, std::vector<int>{0, 1},
+                                    0.05, 0.0, 100 + i));
+    EXPECT_EQ(clients.Get(i), put);
+    EXPECT_EQ(put->id(), i);
+  }
+  EXPECT_EQ(clients.num_materialized(), 4);
+  EXPECT_EQ(clients.Get(512), nullptr);  // same shard as 0, still lazy
+
+  clients.Evict(1024);
+  EXPECT_EQ(clients.Get(1024), nullptr);
+  EXPECT_EQ(clients.num_materialized(), 3);
+  clients.Evict(1024);  // double-evict is a no-op
+  EXPECT_EQ(clients.num_materialized(), 3);
+}
+
+}  // namespace
+}  // namespace fedmigr::fl

@@ -54,6 +54,21 @@ long FunnelledCounterUse(CleanCounters* counters) {
   return snapshot.retries;
 }
 
+// The eager-client-alloc boundary: references, pointers and const shared
+// handles are the sanctioned CoW currency — only by-value construction
+// (and make_shared/make_unique/vector of whole models) is a finding.
+namespace nn {
+struct Sequential {};
+}  // namespace nn
+
+long CowHandlesAreClean(const nn::Sequential& model, nn::Sequential* scratch) {
+  const std::shared_ptr<const nn::Sequential> alias;
+  const nn::Sequential* view = alias ? alias.get() : &model;
+  std::vector<const nn::Sequential*> uploads = {view};
+  (void)scratch;
+  return static_cast<long>(uploads.size());
+}
+
 util::Status HandledStatuses(const std::string& path,
                              const std::vector<uint8_t>& payload) {
   FEDMIGR_RETURN_IF_ERROR(util::MakeDirectories(path));

@@ -111,6 +111,23 @@ struct OwnsCounters {
   FixtureCounters robust_counters_;
 };
 
+// --- eager-client-alloc ----------------------------------------------------
+
+namespace nn {
+struct Sequential {};
+}  // namespace nn
+
+void EagerModelAllocations() {
+  nn::Sequential replica;  // LINT-EXPECT: eager-client-alloc
+  auto minted = std::make_shared<nn::Sequential>();  // LINT-EXPECT: eager-client-alloc
+  auto owned = std::make_unique<nn::Sequential>();  // LINT-EXPECT: eager-client-alloc
+  std::vector<nn::Sequential> fleet;  // LINT-EXPECT: eager-client-alloc
+  (void)replica;
+  (void)minted;
+  (void)owned;
+  (void)fleet;
+}
+
 // --- discarded-status ------------------------------------------------------
 
 void DropsStatuses(const std::string& path) {
