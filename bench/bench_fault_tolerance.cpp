@@ -12,6 +12,8 @@
 // grow with the retry/fallback overhead.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common.h"
@@ -28,6 +30,17 @@ int main(int argc, char** argv) {
   // with the chosen defense. Without the flags nothing changes and the
   // table stays byte-identical.
   const bench::RobustFlags robust_flags = bench::ParseRobustFlags(argc, argv);
+  // --cohort=N activates N clients per round (0 = full participation);
+  // --quorum=F arms the round-progress watchdog at fraction F.
+  int cohort_size = 0;
+  double quorum_fraction = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--cohort=", 9) == 0) {
+      cohort_size = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--quorum=", 9) == 0) {
+      quorum_fraction = std::atof(argv[i] + 9);
+    }
+  }
 
   const double failure_rates[] = {0.0, 0.05, 0.1, 0.2, 0.4};
   const char* schemes[] = {"fedavg", "randmigr", "fedmigr"};
@@ -42,6 +55,10 @@ int main(int argc, char** argv) {
       "(C10 analogue, LAN-correlated non-IID, %d epochs, agg every 5, "
       "retries=2 with backoff, server fallback on)\n\n",
       kEpochs);
+  if (cohort_size > 0 || quorum_fraction > 0.0) {
+    std::printf("Cohort overlay: cohort=%d quorum=%.2f\n\n", cohort_size,
+                quorum_fraction);
+  }
   if (robust_flags.any) {
     std::printf(
         "Byzantine overlay: attack=%s frac=%.2f scale=%.1f aggregator=%s "
@@ -53,14 +70,17 @@ int main(int argc, char** argv) {
         robust_flags.robust.reputation.enabled ? "on" : "off");
   }
   util::TableWriter table({"scheme", "p(fail)", "acc (%)", "traffic (GB)",
-                           "time (s)", "attempts", "failures", "retries",
-                           "fallbacks", "aborted"});
+                           "up (GB)", "down (GB)", "time (s)", "attempts",
+                           "failures", "retries", "fallbacks", "aborted",
+                           "dropped"});
   for (const char* scheme : schemes) {
     for (double rate : failure_rates) {
       bench::BenchRunOptions run;
       run.max_epochs = kEpochs;
       run.eval_every = 20;
       run.fault.link_failure_prob = rate;
+      run.cohort_size = cohort_size;
+      run.quorum_fraction = quorum_fraction;
       robust_flags.ApplyTo(&run);
       const fl::RunResult result = bench::RunBench(workload, scheme, run);
       table.AddRow();
@@ -68,12 +88,17 @@ int main(int argc, char** argv) {
       table.AddCell(rate, 2);
       table.AddCell(100.0 * result.final_accuracy, 1);
       table.AddCell(result.traffic_gb, 3);
+      // The directional C2S split: dropped-straggler uploads stay in the
+      // upload column instead of inflating the distribution total.
+      table.AddCell(result.c2s_up_gb, 3);
+      table.AddCell(result.c2s_down_gb, 3);
       table.AddCell(result.time_s, 1);
       table.AddCell(static_cast<int>(result.faults.attempts));
       table.AddCell(static_cast<int>(result.faults.failures));
       table.AddCell(static_cast<int>(result.faults.retries));
       table.AddCell(static_cast<int>(result.faults.fallbacks));
       table.AddCell(static_cast<int>(result.faults.aborted_transfers));
+      table.AddCell(static_cast<int>(result.faults.dropped_stragglers));
     }
   }
   table.Print(std::cout);

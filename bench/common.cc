@@ -57,6 +57,8 @@ fl::SchemeSetup MakeBenchScheme(const std::string& name,
   setup.config.dp = options.dp;
   setup.config.fault = options.fault;
   setup.config.robust = options.robust;
+  setup.config.cohort_size = options.cohort_size;
+  setup.config.quorum_fraction = options.quorum_fraction;
   setup.config.seed = options.seed;
   return setup;
 }

@@ -50,6 +50,12 @@ struct BenchRunOptions {
   net::FaultConfig fault;
   // Robustness layer (default: inert, the legacy bit-identical path).
   fl::RobustConfig robust;
+  // Cohort scheduling: activate `cohort_size` clients per round (0 = all,
+  // the legacy full-participation path). See TrainerConfig::cohort_size.
+  int cohort_size = 0;
+  // Round-progress watchdog quorum (0 = disabled). See
+  // TrainerConfig::quorum_fraction.
+  double quorum_fraction = 0.0;
   uint64_t seed = 1;
 };
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the infrastructure-chaos bench (partition storms + server outages +
+# fleet churn, with and without the round-progress watchdog) and records
+# BENCH_chaos.json at the repo root, so graceful degradation is tracked
+# PR over PR.
+#
+# Usage: scripts/bench_chaos.sh [build-dir] [extra flags...]
+#
+# The build dir defaults to ./build and must already contain a compiled
+# bench/bench_chaos (cmake -B build -S . && cmake --build build -j).
+# Extra flags are passed through, e.g.:
+#   scripts/bench_chaos.sh build --epochs=40
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench_bin="$build_dir/bench/bench_chaos"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found; build it first:" >&2
+  echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+  exit 1
+fi
+
+"$bench_bin" \
+  --json-out="$repo_root/BENCH_chaos.json" \
+  "$@"
+
+echo "wrote $repo_root/BENCH_chaos.json"

@@ -64,6 +64,7 @@ AsyncRunResult AsyncTrainer::Run() {
   std::vector<int> last_sync(static_cast<size_t>(k), 0);
   net::Budget budget = config_.budget;
   net::TrafficAccountant traffic;
+  net::FaultInjector faults(config_.fault);
 
   LocalUpdateOptions local;
   local.epochs = config_.local_epochs;
@@ -74,7 +75,8 @@ AsyncRunResult AsyncTrainer::Run() {
         static_cast<int64_t>(clients[static_cast<size_t>(i)]->num_samples()) *
         config_.local_epochs;
     return net::ComputeSeconds(devices_[static_cast<size_t>(i)], samples,
-                               model_params);
+                               model_params) *
+           faults.SlowdownFactor(i);
   };
 
   std::priority_queue<FinishEvent, std::vector<FinishEvent>,
@@ -95,17 +97,38 @@ AsyncRunResult AsyncTrainer::Run() {
     const int i = event.client;
     Client& client = *clients[static_cast<size_t>(i)];
 
+    // One injector epoch elapses per server-side event, so crash windows
+    // and straggler rolls are measured in events. A no-op when disabled.
+    faults.BeginEpoch(k);
+
+    // A crashed client lost the round it was computing; it re-attempts
+    // once its outage window lets the next round complete.
+    if (faults.IsCrashed(i)) {
+      events.push({now + round_seconds(i), i});
+      continue;
+    }
+
     // The round that just "finished" in simulated time is executed now.
     const LocalUpdateResult update_result = client.LocalUpdate(local);
     budget.ConsumeCompute(
         static_cast<double>(update_result.samples_processed));
 
-    // Upload over the WAN and blend with staleness-discounted weight.
-    const double upload_s =
-        topology_.TransferSeconds(i, net::kServerId, model_bytes);
-    traffic.Record(i, net::kServerId, model_bytes);
-    budget.ConsumeBandwidth(static_cast<double>(model_bytes));
+    // Upload over the WAN. With faults disabled Transfer() is byte-identical
+    // to the direct TransferSeconds + Record path.
+    const net::TransferResult up =
+        faults.Transfer(i, net::kServerId, model_bytes, topology_, &traffic);
+    const double upload_s = up.seconds;
+    budget.ConsumeBandwidth(static_cast<double>(up.bytes));
+    const bool rejected = up.status.ok() && up.corrupted;
+    if (rejected) faults.CountCorruptRejected();
+    if (!up.status.ok() || rejected) {
+      // The update never reached the blend: the client retries a fresh
+      // round from its stale model; its staleness keeps growing.
+      events.push({now + upload_s + round_seconds(i), i});
+      continue;
+    }
 
+    // Blend with staleness-discounted weight.
     ++updates;
     const int staleness = updates - 1 - last_sync[static_cast<size_t>(i)];
     const double mix =
@@ -115,13 +138,19 @@ AsyncRunResult AsyncTrainer::Run() {
     server.global_model().LerpParamsFrom(client.model(),
                                          static_cast<float>(mix));
 
-    // Download the fresh global model and schedule the next round.
-    const double download_s =
-        topology_.TransferSeconds(net::kServerId, i, model_bytes);
-    traffic.Record(net::kServerId, i, model_bytes);
-    budget.ConsumeBandwidth(static_cast<double>(model_bytes));
-    client.SetModel(server.global_model());
-    last_sync[static_cast<size_t>(i)] = updates;
+    // Download the fresh global model and schedule the next round. A lost
+    // or corrupted download leaves the client training on its stale model
+    // (last_sync stays, so its discount keeps shrinking until one lands).
+    const net::TransferResult down =
+        faults.Transfer(net::kServerId, i, model_bytes, topology_, &traffic);
+    const double download_s = down.seconds;
+    budget.ConsumeBandwidth(static_cast<double>(down.bytes));
+    if (down.status.ok() && down.corrupted) {
+      faults.CountCorruptRejected();
+    } else if (down.status.ok()) {
+      client.SetModel(server.global_model());
+      last_sync[static_cast<size_t>(i)] = updates;
+    }
 
     const double next_finish =
         now + upload_s + download_s + round_seconds(i);
@@ -156,6 +185,7 @@ AsyncRunResult AsyncTrainer::Run() {
   result.updates_run = updates;
   result.time_s = now;
   result.traffic_gb = static_cast<double>(traffic.total_bytes()) / 1e9;
+  result.faults = faults.counters();
   return result;
 }
 

@@ -23,6 +23,7 @@
 #include "fl/server.h"
 #include "net/budget.h"
 #include "net/device.h"
+#include "net/fault.h"
 #include "net/topology.h"
 #include "net/traffic.h"
 #include "util/rng.h"
@@ -44,6 +45,18 @@ struct AsyncConfig {
   int eval_every = 20;
   double target_accuracy = -1.0;
   net::Budget budget;
+  // Fault model for links and clients (see net/fault.h). The default config
+  // is a strict no-op: the event loop follows exactly the fault-free path
+  // and produces bit-identical results. With faults on, a crashed client
+  // re-attempts its round later, a lost upload never reaches the blend, a
+  // corrupted one is rejected by the server's checksum, and a lost download
+  // leaves the client training on its stale model (its staleness keeps
+  // growing until a download lands). One injector epoch elapses per event,
+  // so crash windows are measured in server-side events, and the chaos
+  // schedule (partition/outage windows) applies to every hop. Byzantine
+  // attack modes are not applied here — the async path has no robust
+  // aggregation layer to defend the blend.
+  net::FaultConfig fault;
   uint64_t seed = 1;
 };
 
@@ -65,6 +78,9 @@ struct AsyncRunResult {
   bool reached_target = false;
   int updates_to_target = -1;
   double time_to_target_s = -1.0;
+  // Fault-tolerance counters, mirroring the sync path's RunResult::faults.
+  // All zero when faults are disabled.
+  net::FaultCounters faults;
 };
 
 // Runs asynchronous FL over the given workload pieces. `partition[k]` is

@@ -1,0 +1,63 @@
+// Trainer-level chaos accounting: the fl-side counterpart of the
+// infrastructure schedule in net/fault.h (ChaosConfig).
+//
+// The net layer decides *when* a LAN is sealed, the server is down or a
+// client has churned out; the fl layer owns the recovery semantics — the
+// round-progress watchdog (quorum commit, carryover of survivor uploads),
+// atomic two-phase migration capture/install with rollback, and fleet-churn
+// membership (absences, departures, re-joins minting from the aggregate).
+// ChaosCounters records every one of those decisions so benches and tests
+// can reconcile them: migrations_planned must always equal
+// migrations_completed + migration_fallbacks + migrations_rolled_back.
+//
+// Counters follow the FaultCounters/RobustCounters contract: every mutation
+// flows through the Count* funnels below (enforced by fedmigr_lint's
+// counter-mutation rule), which also mirror each increment into the obs
+// registry as live `fl/chaos_*` metrics.
+
+#ifndef FEDMIGR_FL_CHAOS_H_
+#define FEDMIGR_FL_CHAOS_H_
+
+#include <cstdint>
+
+#include "util/serial.h"
+#include "util/status.h"
+
+namespace fedmigr::fl {
+
+// Per-run chaos counters surfaced in RunResult / bench tables. All stay
+// zero on a zero-chaos config with the watchdog disabled. Mutate only
+// through the funnels below (fedmigr_lint: counter-mutation).
+struct ChaosCounters {
+  // Two-phase migration ledger. Every planned move is captured at its
+  // source and ends in exactly one of the three buckets below.
+  int64_t migrations_planned = 0;      // moves captured at the source
+  int64_t migrations_completed = 0;    // installed via the direct C2C route
+  int64_t migration_fallbacks = 0;     // installed via the server re-route
+  int64_t migrations_rolled_back = 0;  // undelivered; source kept ownership
+  // Round-progress watchdog.
+  int64_t quorum_commits = 0;     // aggregation rounds that met quorum
+  int64_t quorum_misses = 0;      // rounds skipped (aggregate not published)
+  int64_t carryover_clients = 0;  // survivor uploads carried to a later round
+  // Fleet churn.
+  int64_t churn_absences = 0;    // sampled members skipped for one round
+  int64_t churn_departures = 0;  // members whose private state was discarded
+};
+
+void CountMigrationPlanned(ChaosCounters* counters);
+void CountMigrationCompleted(ChaosCounters* counters);
+void CountMigrationFallback(ChaosCounters* counters);
+void CountMigrationRolledBack(ChaosCounters* counters);
+void CountQuorumCommit(ChaosCounters* counters);
+void CountQuorumMiss(ChaosCounters* counters);
+void CountCarryoverClient(ChaosCounters* counters);
+void CountChurnAbsence(ChaosCounters* counters);
+void CountChurnDeparture(ChaosCounters* counters);
+
+void SaveChaosCounters(const ChaosCounters& counters, util::ByteWriter* writer);
+util::Status LoadChaosCounters(util::ByteReader* reader,
+                               ChaosCounters* counters);
+
+}  // namespace fedmigr::fl
+
+#endif  // FEDMIGR_FL_CHAOS_H_

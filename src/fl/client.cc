@@ -57,6 +57,10 @@ ModelRef Client::share_model() {
   return model_;
 }
 
+void Client::ReclaimModel() {
+  if (model_ != nullptr && model_.use_count() == 1) owns_model_ = true;
+}
+
 void Client::SetProximalReference(FlatRef reference) {
   proximal_reference_ = std::move(reference);
 }

@@ -80,6 +80,12 @@ class Client {
   ModelRef model_ref() const { return model_; }
   bool owns_model() const { return owns_model_; }
 
+  // Rollback of a share_model() capture whose transfer never delivered: if
+  // this client is again the sole holder of its block, it re-promotes to
+  // exclusive ownership. A no-op while the block is still shared — the
+  // ownership state is then exactly what it was before the capture.
+  void ReclaimModel();
+
   // Records the reference point for FedProx's proximal term. Call at every
   // Model Distribution. The shared overload aliases the store's flattened
   // aggregate; the legacy overload flattens privately.

@@ -72,6 +72,7 @@ MigrationExecution ExecuteWithFaults(const MigrationPlan& plan,
   MigrationExecution exec;
   exec.delivered.assign(plan.incoming.size(), false);
   exec.corrupted.assign(plan.incoming.size(), false);
+  exec.via_fallback.assign(plan.incoming.size(), false);
   for (size_t j = 0; j < plan.incoming.size(); ++j) {
     if (plan.incoming[j] == static_cast<int>(j)) continue;
     const int src = node_ids != nullptr
@@ -83,6 +84,7 @@ MigrationExecution ExecuteWithFaults(const MigrationPlan& plan,
     double seconds = 0.0;
     bool delivered = true;
     bool corrupted = false;
+    bool used_fallback = false;
     if (!faulty) {
       if (plan.via_server) {
         // Two WAN hops: src -> server, server -> dst.
@@ -124,6 +126,7 @@ MigrationExecution ExecuteWithFaults(const MigrationPlan& plan,
         // The direct link gave up: re-route through the parameter server,
         // charged as C2S both ways.
         ++exec.fallback_moves;
+        used_fallback = true;
         faults->CountFallback();
         const net::TransferResult up = faults->Transfer(
             src, net::kServerId, model_bytes, topology, traffic);
@@ -142,6 +145,7 @@ MigrationExecution ExecuteWithFaults(const MigrationPlan& plan,
     if (delivered) {
       exec.delivered[j] = true;
       exec.corrupted[j] = corrupted;
+      exec.via_fallback[j] = used_fallback;
     } else {
       ++exec.failed_moves;
     }

@@ -64,6 +64,10 @@ struct MigrationExecution {
   MigrationCost cost;
   std::vector<bool> delivered;
   std::vector<bool> corrupted;
+  // Delivered, but via the server re-route rather than the planned direct
+  // C2C link (false wherever delivered[j] is false). The trainer's chaos
+  // ledger splits completed moves on this.
+  std::vector<bool> via_fallback;
   int failed_moves = 0;    // moves that never reached their destination
   int fallback_moves = 0;  // C2C moves re-routed through the server (C2S)
 };

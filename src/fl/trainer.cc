@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "data/distribution.h"
@@ -71,6 +72,15 @@ Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
   FEDMIGR_CHECK_LT(config_.dropout_prob, 1.0);
   FEDMIGR_CHECK_GE(config_.cohort_size, 0);
   FEDMIGR_CHECK_LE(config_.cohort_size, k);
+  FEDMIGR_CHECK_GE(config_.quorum_fraction, 0.0);
+  FEDMIGR_CHECK_LE(config_.quorum_fraction, 1.0);
+  // Fleet churn is a cohort-runtime feature: membership is applied when the
+  // round's cohort is built, and departures rely on the lazy/evict slot
+  // machinery of the sharded store.
+  if (config_.fault.chaos.churn_rate > 0.0) {
+    FEDMIGR_CHECK_GT(config_.cohort_size, 0)
+        << "fleet churn requires cohort scheduling (cohort_size > 0)";
+  }
 
   if (config_.cohort_size > 0) {
     // Sharded mode: clients stay lazy until their first cohort; provenance
@@ -156,18 +166,69 @@ void Trainer::ResampleParticipants() {
 
 void Trainer::BeginRound(int64_t round) {
   if (round == cohort_round_) return;
-  // Retire the previous cohort. After a snapshot restore the list is gone —
-  // recompute it (the sampler is stateless, so this is the same list).
+  // Retire the previous cohort. After a pre-chaos snapshot restore the list
+  // is gone — recompute it (the sampler is stateless, so this is the same
+  // list); chaos-era snapshots (v4) restore cohort_ directly.
   std::vector<int> previous = std::move(cohort_);
   if (previous.empty() && round > 0) {
     previous = cohort_sampler_->Sample(round - 1);
   }
+  const bool churning = config_.fault.chaos.churn_rate > 0.0;
   for (int i : previous) {
     participating_[static_cast<size_t>(i)] = false;
     available_[static_cast<size_t>(i)] = false;
     eligible_[static_cast<size_t>(i)] = false;
+    // Departure: the member left the fleet between rounds. Its private
+    // replica, optimizer and RNG are gone — the slot returns to the lazy
+    // state (its data slice is reclaimed), so a later re-join mints a fresh
+    // device from the then-current aggregate via the CoW store.
+    if (churning && faults_.ChurnedOut(i, round)) {
+      Client* materialized = clients_.Get(i);
+      if (materialized != nullptr) {
+        partition_[static_cast<size_t>(i)] = materialized->indices();
+        clients_.Evict(i);
+      }
+      auto& dist = model_distributions_[static_cast<size_t>(i)];
+      std::fill(dist.begin(), dist.end(), 0.0);
+      model_samples_[static_cast<size_t>(i)] = 0.0;
+      CountChurnDeparture(&chaos_counters_);
+    }
   }
-  cohort_ = cohort_sampler_->Sample(round);
+  // Effective roster: the (seed, round)-pure sample minus churned-out
+  // members, plus the survivors of an uncommitted round (quorum miss). The
+  // sampler itself never sees the churn — determinism of Sample(round) is
+  // preserved under any active-set history.
+  const std::vector<int> sampled = cohort_sampler_->Sample(round);
+  cohort_.clear();
+  cohort_.reserve(sampled.size() + carryover_.size());
+  for (int i : sampled) {
+    if (churning && faults_.ChurnedOut(i, round)) {
+      CountChurnAbsence(&chaos_counters_);
+      continue;
+    }
+    cohort_.push_back(i);
+  }
+  std::vector<int> carried;
+  if (!carryover_.empty()) {
+    const size_t sampled_n = cohort_.size();
+    for (int i : carryover_) {
+      // A carried member that churned out was already retired (and counted)
+      // in the departure loop above — its pending update left with it.
+      if (churning && faults_.ChurnedOut(i, round)) continue;
+      if (std::binary_search(cohort_.begin(),
+                             cohort_.begin() + static_cast<long>(sampled_n),
+                             i)) {
+        continue;
+      }
+      carried.push_back(i);
+      cohort_.push_back(i);
+      CountCarryoverClient(&chaos_counters_);
+    }
+    std::inplace_merge(cohort_.begin(),
+                       cohort_.begin() + static_cast<long>(sampled_n),
+                       cohort_.end());
+  }
+  carryover_.clear();
   cohort_round_ = round;
 
   // Cohort-mode Model Distribution: the aggregate travels only to members
@@ -180,6 +241,12 @@ void Trainer::BeginRound(int64_t round) {
     participating_[static_cast<size_t>(i)] = true;
     Client& client = ClientAt(i);
     if (client.model_ref() == store_.aggregate()) continue;
+    // Carryover members keep their pending local update instead of
+    // re-syncing: their uncommitted error feedback rides into this round.
+    if (!carried.empty() &&
+        std::binary_search(carried.begin(), carried.end(), i)) {
+      continue;
+    }
     const net::TransferResult res = faults_.Transfer(
         net::kServerId, i, model_bytes_, topology_, &traffic_);
     download_seconds = config_.wan_shared
@@ -201,9 +268,6 @@ void Trainer::BeginRound(int64_t round) {
 }
 
 void Trainer::RollAvailability() {
-  // Crash/straggler state rolls on the injector's own RNG stream, so the
-  // trainer's stream (and thus the fault-free trajectory) is untouched.
-  faults_.BeginEpoch(num_clients());
   if (cohort_mode()) {
     // Only cohort members can be available; everyone else keeps the false
     // bits BeginRound left behind.
@@ -356,6 +420,42 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
     upload_seconds = upload_deadline;
   }
 
+  // Round-progress watchdog: the round commits only when a quorum of the
+  // expected uploads arrived before the deadline. On a miss nothing is
+  // screened, aggregated or published — the last published aggregate stands
+  // for the whole fleet — and in cohort mode the survivors are carried into
+  // the next round so their error feedback is not lost.
+  if (config_.quorum_fraction > 0.0) {
+    int expected = 0;
+    int arrived_count = 0;
+    for (int i : active) {
+      const size_t s = static_cast<size_t>(i);
+      if (participating_[s] && reputation_.Eligible(i)) ++expected;
+      if (arrived[s]) ++arrived_count;
+    }
+    const bool quorum_met =
+        expected == 0 ||
+        static_cast<double>(arrived_count) + 1e-12 >=
+            config_.quorum_fraction * static_cast<double>(expected);
+    if (!quorum_met) {
+      CountQuorumMiss(&chaos_counters_);
+      if (cohort_mode()) {
+        carryover_.clear();
+        for (int i : active) {
+          if (arrived[static_cast<size_t>(i)]) carryover_.push_back(i);
+        }
+      }
+      budget_.ConsumeTime(upload_seconds);
+      Evaluation eval;
+      if (evaluate) {
+        FEDMIGR_TRACE_SCOPE("fl/evaluate");
+        eval = server_->EvaluateGlobal(config_.batch_size * 2);
+      }
+      return eval;
+    }
+    CountQuorumCommit(&chaos_counters_);
+  }
+
   std::vector<const nn::Sequential*> models;
   std::vector<double> weights;
   std::vector<int> uploaders;
@@ -447,13 +547,22 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
 int Trainer::ApplyMigrationMoves(const MigrationPlan& plan,
                                  const MigrationExecution& exec,
                                  const std::vector<int>* node_ids) {
-  // Capture every source's payload before installing anything: plans can
-  // chain (a <- b while b <- c), so installs must read pre-move state. The
-  // model capture is a CoW share — the source block is never copied, and
-  // demoting the source to a non-owning alias guarantees its later writes
-  // can't leak into the receiver.
+  // Two-phase capture/install so every move is atomic under faults. Phase 1
+  // captures EVERY planned source's payload before installing anything:
+  // plans can chain (a <- b while b <- c), so installs must read pre-move
+  // state. The capture is a CoW share — the source block is never copied,
+  // and demoting the source to a non-owning alias guarantees its later
+  // writes can't leak into the receiver. Phase 2 installs the delivered
+  // payloads; an undelivered move (link gave up, sealed partition boundary,
+  // corrupt payload) is rolled back — the captured ref is dropped and the
+  // source re-promotes ownership of its unchanged block. Either the
+  // receiver installs the full model or the source retains it: a lineage
+  // can never end up orphaned or torn.
   struct Move {
+    int src = 0;
     int dst = 0;
+    bool delivered = false;
+    bool fallback = false;
     ModelRef model;
     std::vector<double> dist;
     double samples = 0.0;
@@ -462,25 +571,54 @@ int Trainer::ApplyMigrationMoves(const MigrationPlan& plan,
   const int n = static_cast<int>(plan.incoming.size());
   for (int j = 0; j < n; ++j) {
     const int src_local = plan.incoming[static_cast<size_t>(j)];
-    if (src_local == j || !exec.delivered[static_cast<size_t>(j)]) continue;
+    if (src_local == j) continue;
     const int src =
         node_ids != nullptr ? (*node_ids)[static_cast<size_t>(src_local)]
                             : src_local;
     Client& source = MaterializedClient(src);
     if (!source.has_model()) continue;
     Move move;
+    move.src = src;
     move.dst = node_ids != nullptr ? (*node_ids)[static_cast<size_t>(j)] : j;
+    move.delivered = exec.delivered[static_cast<size_t>(j)];
+    move.fallback = move.delivered &&
+                    static_cast<size_t>(j) < exec.via_fallback.size() &&
+                    exec.via_fallback[static_cast<size_t>(j)];
     move.model = source.share_model();
     move.dist = model_distributions_[static_cast<size_t>(src)];
     move.samples = model_samples_[static_cast<size_t>(src)];
     moves.push_back(std::move(move));
+    CountMigrationPlanned(&chaos_counters_);
   }
+  int installed = 0;
   for (Move& move : moves) {
-    MaterializedClient(move.dst).SetModel(std::move(move.model));
-    model_distributions_[static_cast<size_t>(move.dst)] = std::move(move.dist);
-    model_samples_[static_cast<size_t>(move.dst)] = move.samples;
+    if (move.delivered) {
+      MaterializedClient(move.dst).SetModel(std::move(move.model));
+      model_distributions_[static_cast<size_t>(move.dst)] =
+          std::move(move.dist);
+      model_samples_[static_cast<size_t>(move.dst)] = move.samples;
+      ++installed;
+      if (move.fallback) {
+        CountMigrationFallback(&chaos_counters_);
+      } else {
+        CountMigrationCompleted(&chaos_counters_);
+      }
+    } else {
+      // Roll back: drop the captured ref, then re-promote the source (a
+      // no-op if its block is still aliased elsewhere — exactly the
+      // pre-capture ownership state either way).
+      move.model = nullptr;
+      MaterializedClient(move.src).ReclaimModel();
+      CountMigrationRolledBack(&chaos_counters_);
+    }
   }
-  return static_cast<int>(moves.size());
+  // The atomicity invariant: every planned source either shipped its block
+  // or still holds it — no orphaned lineages.
+  for (const Move& move : moves) {
+    FEDMIGR_CHECK(MaterializedClient(move.src).has_model())
+        << "orphaned migration lineage at client " << move.src;
+  }
+  return installed;
 }
 
 int Trainer::MigrationPhase(int epoch, double loss) {
@@ -666,15 +804,32 @@ RunResult Trainer::Run() {
     EpochRecord record;
     record.epoch = epoch;
 
+    // Epoch tick for the injector: crash/straggler rolls happen on its own
+    // RNG stream, and the chaos schedule (partition/outage windows) advances
+    // here — before BeginRound, so a partition can refuse the round's
+    // aggregate downloads.
+    faults_.BeginEpoch(num_clients());
+
     // A new global iteration starts right after each aggregation.
     if (cohort_mode()) {
       const int64_t round = (epoch - 1) / config_.agg_period;
       if ((epoch - 1) % config_.agg_period == 0) {
         BeginRound(round);
       } else if (round != cohort_round_) {
-        // Resumed mid-round: the members' state came back with the
-        // snapshot; only the (stateless) cohort list needs recomputing.
-        cohort_ = cohort_sampler_->Sample(round);
+        // Resumed mid-round from a pre-chaos snapshot: the members' state
+        // came back with the snapshot; only the cohort list needs
+        // recomputing (the same churn filter BeginRound applies — carryover
+        // is only ever consumed at a round boundary, so none is in flight
+        // mid-round).
+        const std::vector<int> sampled = cohort_sampler_->Sample(round);
+        cohort_.clear();
+        for (int i : sampled) {
+          if (config_.fault.chaos.churn_rate > 0.0 &&
+              faults_.ChurnedOut(i, round)) {
+            continue;
+          }
+          cohort_.push_back(i);
+        }
         cohort_round_ = round;
       }
     } else if ((epoch - 1) % config_.agg_period == 0) {
@@ -810,9 +965,12 @@ RunResult Trainer::Run() {
   result_.traffic_gb = static_cast<double>(traffic_.total_bytes()) / 1e9;
   result_.c2s_gb = traffic_.c2s_gb();
   result_.c2c_gb = traffic_.c2c_gb();
+  result_.c2s_up_gb = traffic_.c2s_up_gb();
+  result_.c2s_down_gb = traffic_.c2s_down_gb();
   result_.traffic = traffic_;
   result_.faults = faults_.counters();
   result_.robust = robust_counters_;
+  result_.chaos = chaos_counters_;
   if (reputation_.enabled()) {
     result_.first_quarantine_round.assign(static_cast<size_t>(num_clients()),
                                           -1);
@@ -835,7 +993,45 @@ namespace {
 //     byte (0 = lazy, never materialized; 1 = materialized) and a flag byte
 //     that elides the parameter payload when the replica aliases the
 //     current aggregate block (see Client::SaveState).
-constexpr uint32_t kTrainerStateVersion = 3;
+// v4: chaos layer — quorum_fraction and a hash of the chaos schedule join
+//     the fingerprint; the injector stream gains the epoch counter and the
+//     partition/outage counters; chaos counters, the effective cohort (no
+//     longer pure in (seed, round) once churn and carryover apply) and the
+//     quorum carryover list are appended after the reputation state.
+constexpr uint32_t kTrainerStateVersion = 4;
+
+// Order-sensitive splitmix64 fold of the chaos schedule: two trainers agree
+// on this iff they would replay the same partition/outage/churn timeline,
+// which is exactly what a byte-identical resume needs.
+uint64_t ChaosScheduleFingerprint(const net::ChaosConfig& chaos) {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+  };
+  for (const net::PartitionWindow& w : chaos.partitions) {
+    mix(static_cast<uint64_t>(w.lan));
+    mix(static_cast<uint64_t>(w.start_epoch));
+    mix(static_cast<uint64_t>(w.duration_epochs));
+  }
+  mix(static_cast<uint64_t>(chaos.partition_period));
+  mix(static_cast<uint64_t>(chaos.partition_phase));
+  mix(static_cast<uint64_t>(chaos.partition_lan));
+  mix(static_cast<uint64_t>(chaos.partition_epochs));
+  for (const net::OutageWindow& w : chaos.outages) {
+    mix(static_cast<uint64_t>(w.start_epoch));
+    mix(static_cast<uint64_t>(w.duration_epochs));
+  }
+  mix(static_cast<uint64_t>(chaos.outage_period));
+  mix(static_cast<uint64_t>(chaos.outage_phase));
+  mix(static_cast<uint64_t>(chaos.outage_epochs));
+  uint64_t churn_bits = 0;
+  static_assert(sizeof(churn_bits) == sizeof(chaos.churn_rate));
+  std::memcpy(&churn_bits, &chaos.churn_rate, sizeof(churn_bits));
+  mix(churn_bits);
+  mix(chaos.churn_seed);
+  return h;
+}
 
 void WriteEpochRecord(util::ByteWriter* writer, const EpochRecord& record) {
   writer->WriteI32(record.epoch);
@@ -873,6 +1069,8 @@ void Trainer::SaveState(util::ByteWriter* writer) const {
   writer->WriteI32(config_.agg_period);
   writer->WriteI32(config_.max_epochs);
   writer->WriteI32(config_.cohort_size);
+  writer->WriteF64(config_.quorum_fraction);
+  writer->WriteU64(ChaosScheduleFingerprint(config_.fault.chaos));
 
   // Run progress and accumulated result.
   writer->WriteI32(progress_.next_epoch);
@@ -933,6 +1131,15 @@ void Trainer::SaveState(util::ByteWriter* writer) const {
   // state, recomputed from availability and reputation on load.
   SaveRobustCounters(robust_counters_, writer);
   reputation_.SaveState(writer);
+
+  // v4: chaos layer. The effective cohort must be stored (not recomputed):
+  // under churn and quorum carryover it is no longer a pure function of
+  // (seed, round), and a kill inside a round must resume with exactly the
+  // members that were active when the round began.
+  SaveChaosCounters(chaos_counters_, writer);
+  writer->WriteI32Vector(cohort_);
+  writer->WriteI64(cohort_round_);
+  writer->WriteI32Vector(carryover_);
 }
 
 util::Status Trainer::LoadState(util::ByteReader* reader) {
@@ -948,6 +1155,8 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
   int32_t agg_period = 0;
   int32_t max_epochs = 0;
   int32_t cohort_size = 0;
+  double quorum_fraction = 0.0;
+  uint64_t chaos_fingerprint = 0;
   FEDMIGR_RETURN_IF_ERROR(reader->ReadString(&scheme));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&clients));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&params));
@@ -955,11 +1164,15 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&agg_period));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&max_epochs));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&cohort_size));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&quorum_fraction));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&chaos_fingerprint));
   if (scheme != config_.scheme_name ||
       clients != static_cast<uint32_t>(num_clients()) ||
       params != model_params_ || seed != config_.seed ||
       agg_period != config_.agg_period || max_epochs != config_.max_epochs ||
-      cohort_size != config_.cohort_size) {
+      cohort_size != config_.cohort_size ||
+      quorum_fraction != config_.quorum_fraction ||
+      chaos_fingerprint != ChaosScheduleFingerprint(config_.fault.chaos)) {
     return util::Status::InvalidArgument(
         "snapshot fingerprint does not match this trainer");
   }
@@ -1070,6 +1283,31 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
   ReputationTracker reputation(config_.robust.reputation, num_clients());
   FEDMIGR_RETURN_IF_ERROR(reputation.LoadState(reader));
 
+  // v4: chaos layer.
+  ChaosCounters chaos_counters;
+  FEDMIGR_RETURN_IF_ERROR(LoadChaosCounters(reader, &chaos_counters));
+  std::vector<int> cohort;
+  int64_t cohort_round = -1;
+  std::vector<int> carryover;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32Vector(&cohort));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&cohort_round));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32Vector(&carryover));
+  for (int i : cohort) {
+    if (i < 0 || i >= num_clients()) {
+      return util::Status::InvalidArgument("snapshot cohort id out of range");
+    }
+  }
+  for (int i : carryover) {
+    if (i < 0 || i >= num_clients()) {
+      return util::Status::InvalidArgument(
+          "snapshot carryover id out of range");
+    }
+  }
+  if (!cohort_mode() && (!cohort.empty() || !carryover.empty())) {
+    return util::Status::InvalidArgument(
+        "snapshot carries a cohort but this trainer runs legacy mode");
+  }
+
   progress_ = progress;
   result_ = std::move(result);
   rng_ = rng;
@@ -1087,10 +1325,12 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
     eligible_[i] =
         available_[i] && reputation_.Eligible(static_cast<int>(i));
   }
-  // Force the next Run() to recompute the cohort of whatever round it
-  // resumes into.
-  cohort_.clear();
-  cohort_round_ = -1;
+  // The effective cohort is restored, not recomputed: under churn and
+  // quorum carryover only the snapshot knows who was active mid-round.
+  chaos_counters_ = chaos_counters;
+  cohort_ = std::move(cohort);
+  cohort_round_ = cohort_round;
+  carryover_ = std::move(carryover);
   return util::Status::Ok();
 }
 

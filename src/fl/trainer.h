@@ -25,6 +25,7 @@
 #include "data/dataset.h"
 #include "data/partition.h"
 #include "dp/gaussian.h"
+#include "fl/chaos.h"
 #include "fl/client.h"
 #include "fl/cohort.h"
 #include "fl/model_store.h"
@@ -85,6 +86,15 @@ struct TrainerConfig {
   // aggregation through the legacy kernel, no screening beyond the
   // always-on non-finite gate, no reputation — bit-identical results.
   RobustConfig robust;
+  // Round-progress watchdog: an aggregation round commits (aggregate +
+  // publish) only when at least ceil(quorum_fraction * expected) uploads
+  // arrived before the upload deadline, where `expected` counts the
+  // participating, reputation-eligible members of the round. On a quorum
+  // miss nothing is published — the fleet keeps training against the last
+  // published aggregate — and in cohort mode the survivors' local updates
+  // are carried into the next round's cohort so their error feedback is not
+  // lost. 0 disables the watchdog (the legacy always-commit behavior).
+  double quorum_fraction = 0.0;
   // When the WAN to the server is shared, uploads serialize; when false,
   // each client has an independent WAN path.
   bool wan_shared = true;
@@ -118,6 +128,13 @@ struct RunResult {
   double traffic_gb = 0.0;
   double c2s_gb = 0.0;
   double c2c_gb = 0.0;
+  // Directional C2S split: uploads (client -> server, including uploads a
+  // straggler deadline later drops from aggregation and failed-attempt
+  // charges) vs downloads (server -> client distribution). Keeps per-round
+  // cohort accounting from double-counting dropped uploads as distribution
+  // traffic.
+  double c2s_up_gb = 0.0;
+  double c2s_down_gb = 0.0;
   bool reached_target = false;
   int epochs_to_target = -1;
   double time_to_target_s = -1.0;
@@ -135,6 +152,10 @@ struct RunResult {
   // Robustness counters (screened/rejected uploads, attacks applied,
   // quarantine events; see fl/robust.h).
   RobustCounters robust;
+  // Chaos-recovery counters (migration capture/rollback ledger, quorum
+  // commits/misses, churn membership; see fl/chaos.h). All zero on a
+  // zero-chaos config with the watchdog disabled.
+  ChaosCounters chaos;
   // Aggregation round (1-based) in which each client first entered
   // quarantine; -1 = never. Empty when reputation is disabled.
   std::vector<int> first_quarantine_round;
@@ -248,6 +269,10 @@ class Trainer {
   std::unique_ptr<CohortSampler> cohort_sampler_;
   std::vector<int> cohort_;       // sorted ids of the current round's cohort
   int64_t cohort_round_ = -1;     // round cohort_ belongs to
+  // Survivors of a quorum-missed round (sorted ids): their uploads never
+  // committed, so BeginRound folds them into the next cohort and skips
+  // their Model Distribution — they keep the pending local update.
+  std::vector<int> carryover_;
   std::vector<int> identity_;     // [0, K) — legacy active list
   std::unique_ptr<Server> server_;
   net::Budget budget_;
@@ -279,6 +304,7 @@ class Trainer {
   std::unique_ptr<Aggregator> aggregator_;
   ReputationTracker reputation_;
   RobustCounters robust_counters_;
+  ChaosCounters chaos_counters_;
 
   // Run-loop state promoted to members so a run can be snapshotted between
   // epochs and continued bit-identically.

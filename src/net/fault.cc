@@ -1,6 +1,7 @@
 #include "net/fault.h"
 
 #include <algorithm>
+#include <set>
 
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
@@ -26,6 +27,8 @@ struct FaultMetrics {
   obs::Counter* dropped_stragglers;
   obs::Counter* crash_epochs;
   obs::Counter* crashes;
+  obs::Counter* partitioned_transfers;
+  obs::Counter* outage_transfers;
 
   static const FaultMetrics& Get() {
     static const FaultMetrics* metrics = [] {
@@ -42,11 +45,24 @@ struct FaultMetrics {
           registry.GetCounter("net/fault_dropped_stragglers"),
           registry.GetCounter("net/fault_crash_epochs"),
           registry.GetCounter("net/fault_crashes"),
+          registry.GetCounter("net/fault_partitioned_transfers"),
+          registry.GetCounter("net/fault_outage_transfers"),
       };
     }();
     return *metrics;
   }
 };
+
+// Epoch window test shared by the explicit schedules and the recurring
+// generators.
+bool InWindow(int epoch, int start_epoch, int duration_epochs) {
+  return epoch >= start_epoch && epoch < start_epoch + duration_epochs;
+}
+
+bool InRecurringWindow(int epoch, int period, int phase, int duration) {
+  if (period <= 0 || epoch < phase) return false;
+  return (epoch - phase) % period < duration;
+}
 
 // The registry lookup stays inside the enabled() branch so a disabled (or
 // compiled-out) build never touches the metrics statics.
@@ -102,10 +118,83 @@ FaultInjector::FaultInjector(const FaultConfig& config)
   FEDMIGR_CHECK_GT(config_.upload_deadline_s, 0.0);
   FEDMIGR_CHECK_GE(config_.attack_fraction, 0.0);
   FEDMIGR_CHECK_LE(config_.attack_fraction, 1.0);
+  for (const PartitionWindow& w : config_.chaos.partitions) {
+    FEDMIGR_CHECK_GE(w.lan, 0);
+    FEDMIGR_CHECK_GE(w.start_epoch, 1);
+    FEDMIGR_CHECK_GE(w.duration_epochs, 1);
+  }
+  for (const OutageWindow& w : config_.chaos.outages) {
+    FEDMIGR_CHECK_GE(w.start_epoch, 1);
+    FEDMIGR_CHECK_GE(w.duration_epochs, 1);
+  }
+  FEDMIGR_CHECK_GE(config_.chaos.partition_period, 0);
+  FEDMIGR_CHECK_GE(config_.chaos.outage_period, 0);
+  FEDMIGR_CHECK_GE(config_.chaos.churn_rate, 0.0);
+  FEDMIGR_CHECK_LT(config_.chaos.churn_rate, 1.0);
+}
+
+bool FaultInjector::LanSealed(int lan, int epoch) const {
+  if (lan < 0 || epoch <= 0) return false;  // the server lives in no LAN
+  const ChaosConfig& chaos = config_.chaos;
+  for (const PartitionWindow& w : chaos.partitions) {
+    if (w.lan == lan && InWindow(epoch, w.start_epoch, w.duration_epochs)) {
+      return true;
+    }
+  }
+  return lan == chaos.partition_lan &&
+         InRecurringWindow(epoch, chaos.partition_period, chaos.partition_phase,
+                           chaos.partition_epochs);
+}
+
+bool FaultInjector::ServerDown(int epoch) const {
+  if (epoch <= 0) return false;
+  const ChaosConfig& chaos = config_.chaos;
+  for (const OutageWindow& w : chaos.outages) {
+    if (InWindow(epoch, w.start_epoch, w.duration_epochs)) return true;
+  }
+  return InRecurringWindow(epoch, chaos.outage_period, chaos.outage_phase,
+                           chaos.outage_epochs);
+}
+
+int FaultInjector::ActivePartitions(int epoch) const {
+  std::set<int> sealed;
+  for (const PartitionWindow& w : config_.chaos.partitions) {
+    if (InWindow(epoch, w.start_epoch, w.duration_epochs)) sealed.insert(w.lan);
+  }
+  if (InRecurringWindow(epoch, config_.chaos.partition_period,
+                        config_.chaos.partition_phase,
+                        config_.chaos.partition_epochs)) {
+    sealed.insert(config_.chaos.partition_lan);
+  }
+  return static_cast<int>(sealed.size());
+}
+
+bool FaultInjector::ChurnedOut(int client, int64_t round) const {
+  const double rate = config_.chaos.churn_rate;
+  if (rate <= 0.0 || client < 0) return false;
+  // splitmix64-style mix of (seed, round, client): pure, so membership is
+  // identical across resumes and independent of every RNG stream.
+  uint64_t z = config_.chaos.churn_seed +
+               0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(round) + 1) +
+               0xbf58476d1ce4e5b9ULL * (static_cast<uint64_t>(client) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return u < rate;
 }
 
 void FaultInjector::BeginEpoch(int num_clients) {
   if (!enabled()) return;
+  ++epoch_;
+  if (config_.chaos.enabled() && obs::Telemetry::enabled()) {
+    static obs::Gauge* partitions_gauge =
+        obs::Registry::Default().GetGauge("net/chaos_partitions_active");
+    static obs::Gauge* server_down_gauge =
+        obs::Registry::Default().GetGauge("net/chaos_server_down");
+    partitions_gauge->Set(ActivePartitions(epoch_));
+    server_down_gauge->Set(ServerDown(epoch_) ? 1 : 0);
+  }
   if (config_.attacks_enabled() && !attackers_sampled_) {
     // One-time persistent Byzantine set: round(f * K) distinct clients.
     attacker_.assign(static_cast<size_t>(num_clients), false);
@@ -119,6 +208,10 @@ void FaultInjector::BeginEpoch(int num_clients) {
   }
   down_epochs_.resize(static_cast<size_t>(num_clients), 0);
   straggler_.resize(static_cast<size_t>(num_clients), false);
+  // Chaos-only configs draw no per-client randomness: skipping the roll
+  // loop keeps the RNG stream (and so the whole trajectory) byte-identical
+  // to a run without the chaos schedule.
+  if (config_.crash_prob <= 0.0 && config_.straggler_prob <= 0.0) return;
   for (int i = 0; i < num_clients; ++i) {
     int& down = down_epochs_[static_cast<size_t>(i)];
     if (down > 0) --down;
@@ -187,6 +280,9 @@ void FaultInjector::SaveState(util::ByteWriter* writer) const {
   util::SaveRngState(attack_rng_, writer);
   writer->WriteBoolVector(attacker_);
   writer->WriteBool(attackers_sampled_);
+  writer->WriteI64(counters_.partitioned_transfers);
+  writer->WriteI64(counters_.outage_transfers);
+  writer->WriteI32(epoch_);
 }
 
 util::Status FaultInjector::LoadState(util::ByteReader* reader) {
@@ -207,6 +303,9 @@ util::Status FaultInjector::LoadState(util::ByteReader* reader) {
   FEDMIGR_RETURN_IF_ERROR(util::LoadRngState(reader, &attack_rng_));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadBoolVector(&attacker_));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadBool(&attackers_sampled_));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.partitioned_transfers));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&counters_.outage_transfers));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI32(&epoch_));
   if (down_epochs_.size() != straggler_.size()) {
     return util::Status::InvalidArgument(
         "fault injector client vectors out of sync");
@@ -238,6 +337,33 @@ TransferResult FaultInjector::Transfer(int src, int dst, int64_t bytes,
     result.attempts = 1;
     if (traffic != nullptr) traffic->Record(src, dst, bytes);
     return result;
+  }
+
+  // Chaos schedule refusals come first and fail fast: the sender burns one
+  // connection-setup latency, pushes no payload, and — deliberately — draws
+  // no RNG, so a partition window leaves the link-fault stream untouched.
+  if (config_.chaos.has_outages() && ServerDown(epoch_) &&
+      (src == kServerId || dst == kServerId)) {
+    Bump(&counters_.outage_transfers, &FaultMetrics::outage_transfers);
+    result.seconds = topology.config().link_latency_s;
+    result.status = util::Status::Unavailable(
+        "transfer " + std::to_string(src) + "->" + std::to_string(dst) +
+        " refused: edge server down");
+    return result;
+  }
+  if (config_.chaos.has_partitions()) {
+    const int src_lan = src == kServerId ? -1 : topology.lan_of(src);
+    const int dst_lan = dst == kServerId ? -1 : topology.lan_of(dst);
+    if (src_lan != dst_lan &&
+        (LanSealed(src_lan, epoch_) || LanSealed(dst_lan, epoch_))) {
+      Bump(&counters_.partitioned_transfers,
+           &FaultMetrics::partitioned_transfers);
+      result.seconds = topology.config().link_latency_s;
+      result.status = util::Status::Unavailable(
+          "transfer " + std::to_string(src) + "->" + std::to_string(dst) +
+          " refused: LAN boundary sealed by partition");
+      return result;
+    }
   }
 
   const int max_attempts = 1 + config_.max_retries;

@@ -20,6 +20,13 @@
 // strict no-op: Transfer() produces byte-identical accounting to the direct
 // path, no RNG state leaks into the caller (the injector draws from its own
 // stream), and Begin/IsCrashed/SlowdownFactor are free.
+//
+// On top of the per-link/per-client faults sits the *infrastructure* chaos
+// layer (ChaosConfig): scheduled LAN partition windows, edge-server outage
+// windows and fleet churn. All three are pure functions of the config and
+// the epoch counter — no RNG is drawn for them, so enabling a window cannot
+// perturb the link/crash/straggler streams, and a resumed run only needs
+// the serialized epoch counter to replay the same schedule.
 
 #ifndef FEDMIGR_NET_FAULT_H_
 #define FEDMIGR_NET_FAULT_H_
@@ -56,6 +63,60 @@ enum class AttackMode {
 // "none" | "sign-flip" | "gaussian" | "scale" | "silent" | "nan".
 bool ParseAttackMode(const std::string& name, AttackMode* mode);
 const char* AttackModeName(AttackMode mode);
+
+// One scheduled LAN partition: while epoch is inside
+// [start_epoch, start_epoch + duration_epochs) every transfer crossing the
+// sealed LAN's boundary — including hops to the edge server — fails fast.
+// Intra-LAN traffic continues. Epochs are 1-based BeginEpoch ticks.
+struct PartitionWindow {
+  int lan = 0;
+  int start_epoch = 1;
+  int duration_epochs = 1;
+};
+
+// One scheduled edge-server outage: transfers touching kServerId fail fast
+// while the window is active; C2C traffic is unaffected.
+struct OutageWindow {
+  int start_epoch = 1;
+  int duration_epochs = 1;
+};
+
+// Infrastructure-level chaos schedule. Everything here is a pure function
+// of (config, epoch) or (config, client, round): no RNG stream is consumed,
+// so a zeroed ChaosConfig is indistinguishable from no chaos at all and the
+// schedule replays identically after a snapshot resume.
+struct ChaosConfig {
+  // Explicit partition windows, plus an optional recurring generator: when
+  // partition_period > 0, LAN `partition_lan` is sealed for
+  // `partition_epochs` epochs starting at every
+  // partition_phase + n * partition_period.
+  std::vector<PartitionWindow> partitions;
+  int partition_period = 0;  // 0 = generator off
+  int partition_phase = 1;
+  int partition_lan = 0;
+  int partition_epochs = 1;
+  // Edge-server outage windows and the matching recurring generator.
+  std::vector<OutageWindow> outages;
+  int outage_period = 0;  // 0 = generator off
+  int outage_phase = 1;
+  int outage_epochs = 1;
+  // Fleet churn: per-round probability that a given client is out of the
+  // fleet, decided by a pure hash of (churn_seed, client, round). The fl
+  // layer applies the membership semantics (absences from the sampled
+  // cohort, departures that discard private state, re-joins minting from
+  // the current aggregate); the knob lives here so one FaultConfig
+  // describes the whole failure model.
+  double churn_rate = 0.0;
+  uint64_t churn_seed = 101;
+
+  bool has_partitions() const {
+    return !partitions.empty() || partition_period > 0;
+  }
+  bool has_outages() const { return !outages.empty() || outage_period > 0; }
+  bool enabled() const {
+    return has_partitions() || has_outages() || churn_rate > 0.0;
+  }
+};
 
 struct FaultConfig {
   // Per-attempt probability that a transfer fails in flight.
@@ -97,6 +158,8 @@ struct FaultConfig {
   AttackMode attack_mode = AttackMode::kNone;
   double attack_fraction = 0.0;
   double attack_scale = 8.0;
+  // Infrastructure chaos schedule (partitions / outages / churn).
+  ChaosConfig chaos;
   uint64_t seed = 97;
 
   bool attacks_enabled() const {
@@ -107,7 +170,7 @@ struct FaultConfig {
   bool enabled() const {
     return link_failure_prob > 0.0 || bandwidth_jitter > 0.0 ||
            crash_prob > 0.0 || straggler_prob > 0.0 || corruption_prob > 0.0 ||
-           attacks_enabled();
+           attacks_enabled() || chaos.enabled();
   }
 };
 
@@ -125,6 +188,8 @@ struct FaultCounters {
   int64_t dropped_stragglers = 0; // uploads past the aggregation deadline
   int64_t crash_epochs = 0;       // client-epochs spent crashed
   int64_t crashes = 0;            // crash events
+  int64_t partitioned_transfers = 0;  // refused at a sealed LAN boundary
+  int64_t outage_transfers = 0;       // refused during a server outage
 };
 
 struct TransferResult {
@@ -162,9 +227,22 @@ class FaultInjector {
   // serialized with the injector so a resumed run replays the same attack.
   util::Rng* attack_rng() { return &attack_rng_; }
 
+  // Chaos schedule queries. `epoch` is the 1-based BeginEpoch tick; the
+  // current tick is `epoch()`. All three are pure — no RNG is drawn.
+  int epoch() const { return epoch_; }
+  bool LanSealed(int lan, int epoch) const;
+  bool ServerDown(int epoch) const;
+  // Number of distinct LANs sealed at `epoch` (mirrored as a gauge).
+  int ActivePartitions(int epoch) const;
+  // Fleet churn membership: true when `client` is out of the fleet for
+  // `round`. Pure hash of (chaos.churn_seed, client, round).
+  bool ChurnedOut(int client, int64_t round) const;
+
   // One fault-aware transfer over (src, dst); either endpoint may be
   // kServerId. Every attempt is charged to `traffic` (if non-null); the
-  // returned seconds include failed attempts and backoff.
+  // returned seconds include failed attempts and backoff. A transfer
+  // refused by the chaos schedule (sealed LAN boundary or server outage)
+  // fails fast: one connection-setup latency, zero bytes, no RNG drawn.
   TransferResult Transfer(int src, int dst, int64_t bytes,
                           const Topology& topology,
                           TrafficAccountant* traffic);
@@ -197,6 +275,7 @@ class FaultInjector {
   std::vector<bool> straggler_;
   std::vector<bool> attacker_;       // persistent Byzantine set
   bool attackers_sampled_ = false;
+  int epoch_ = 0;  // BeginEpoch ticks; drives the chaos schedule
 };
 
 }  // namespace fedmigr::net

@@ -20,6 +20,11 @@ void TrafficAccountant::Record(int src, int dst, int64_t bytes) {
   const bool server_hop = src == kServerId || dst == kServerId;
   if (server_hop) {
     c2s_bytes_ += bytes;
+    if (dst == kServerId) {
+      c2s_up_bytes_ += bytes;
+    } else {
+      c2s_down_bytes_ += bytes;
+    }
   } else {
     c2c_bytes_ += bytes;
   }
@@ -51,6 +56,14 @@ double TrafficAccountant::c2c_gb() const {
   return static_cast<double>(c2c_bytes_) / 1e9;
 }
 
+double TrafficAccountant::c2s_up_gb() const {
+  return static_cast<double>(c2s_up_bytes_) / 1e9;
+}
+
+double TrafficAccountant::c2s_down_gb() const {
+  return static_cast<double>(c2s_down_bytes_) / 1e9;
+}
+
 int64_t TrafficAccountant::LinkCount(int a, int b) const {
   const auto it = link_counts_.find(Key(a, b));
   return it == link_counts_.end() ? 0 : it->second;
@@ -64,6 +77,8 @@ int64_t TrafficAccountant::LinkBytes(int a, int b) const {
 void TrafficAccountant::Reset() {
   c2s_bytes_ = 0;
   c2c_bytes_ = 0;
+  c2s_up_bytes_ = 0;
+  c2s_down_bytes_ = 0;
   num_transfers_ = 0;
   link_counts_.clear();
   link_bytes_.clear();
@@ -106,6 +121,8 @@ util::Status ReadLinkMap(util::ByteReader* reader,
 void TrafficAccountant::SaveState(util::ByteWriter* writer) const {
   writer->WriteI64(c2s_bytes_);
   writer->WriteI64(c2c_bytes_);
+  writer->WriteI64(c2s_up_bytes_);
+  writer->WriteI64(c2s_down_bytes_);
   writer->WriteI64(num_transfers_);
   WriteLinkMap(writer, link_counts_);
   WriteLinkMap(writer, link_bytes_);
@@ -114,6 +131,8 @@ void TrafficAccountant::SaveState(util::ByteWriter* writer) const {
 util::Status TrafficAccountant::LoadState(util::ByteReader* reader) {
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&c2s_bytes_));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&c2c_bytes_));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&c2s_up_bytes_));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&c2s_down_bytes_));
   FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&num_transfers_));
   FEDMIGR_RETURN_IF_ERROR(ReadLinkMap(reader, &link_counts_));
   FEDMIGR_RETURN_IF_ERROR(ReadLinkMap(reader, &link_bytes_));

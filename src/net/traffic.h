@@ -23,11 +23,19 @@ class TrafficAccountant {
   int64_t total_bytes() const { return c2s_bytes_ + c2c_bytes_; }
   int64_t c2s_bytes() const { return c2s_bytes_; }
   int64_t c2c_bytes() const { return c2c_bytes_; }
+  // Directional split of the C2S total: uploads terminate at the server
+  // (dst == kServerId), downloads originate there. The split keeps
+  // dropped-straggler uploads — charged but never aggregated — from being
+  // conflated with distribution traffic in per-round bench accounting.
+  int64_t c2s_up_bytes() const { return c2s_up_bytes_; }
+  int64_t c2s_down_bytes() const { return c2s_down_bytes_; }
   int64_t num_transfers() const { return num_transfers_; }
 
   double total_gb() const;
   double c2s_gb() const;
   double c2c_gb() const;
+  double c2s_up_gb() const;
+  double c2s_down_gb() const;
 
   // Transfer count over the undirected client pair {a, b}; 0 if never used.
   int64_t LinkCount(int a, int b) const;
@@ -45,6 +53,8 @@ class TrafficAccountant {
 
   int64_t c2s_bytes_ = 0;
   int64_t c2c_bytes_ = 0;
+  int64_t c2s_up_bytes_ = 0;
+  int64_t c2s_down_bytes_ = 0;
   int64_t num_transfers_ = 0;
   std::map<std::pair<int, int>, int64_t> link_counts_;
   std::map<std::pair<int, int>, int64_t> link_bytes_;

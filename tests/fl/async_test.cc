@@ -144,6 +144,97 @@ TEST(AsyncTest, BudgetStopsEarly) {
   EXPECT_LT(result.updates_run, 20);
 }
 
+TEST(AsyncTest, DisabledFaultConfigIsByteIdentical) {
+  // The default FaultConfig must be a strict no-op: same trajectory, same
+  // simulated clock, zero fault counters.
+  Fixture f;
+  AsyncConfig plain;
+  plain.max_updates = 30;
+  plain.eval_every = 10;
+  AsyncConfig with_faults = plain;
+  with_faults.fault = net::FaultConfig{};
+  ASSERT_FALSE(with_faults.fault.enabled());
+  const AsyncRunResult a = f.Run(plain);
+  const AsyncRunResult b = f.Run(with_faults);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].sim_time_s, b.history[i].sim_time_s);
+    EXPECT_EQ(a.history[i].client, b.history[i].client);
+    EXPECT_EQ(a.history[i].staleness, b.history[i].staleness);
+  }
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(b.faults.attempts, 0);
+  EXPECT_EQ(b.faults.failures, 0);
+}
+
+TEST(AsyncTest, LostUploadsNeverBlendButStillFinish) {
+  // Heavy link loss with retries off: many uploads die in flight, yet the
+  // loop still reaches max_updates because failed clients reschedule.
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 40;
+  config.eval_every = 0;
+  config.fault.link_failure_prob = 0.4;
+  config.fault.max_retries = 0;
+  const AsyncRunResult result = f.Run(config);
+  EXPECT_EQ(result.updates_run, 40);
+  EXPECT_EQ(result.history.size(), 40u);
+  EXPECT_GT(result.faults.failures, 0);
+  // Every blended update is one upload + one download attempt minimum, and
+  // the failures on top mean strictly more attempts than 2 * updates.
+  EXPECT_GT(result.faults.attempts, 2 * 40);
+}
+
+TEST(AsyncTest, CrashedClientsRescheduleWithoutBlending) {
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 30;
+  config.eval_every = 0;
+  config.fault.crash_prob = 0.3;
+  config.fault.crash_max_epochs = 2;
+  const AsyncRunResult result = f.Run(config);
+  EXPECT_EQ(result.updates_run, 30);
+  EXPECT_GT(result.faults.crashes, 0);
+  // A crashed attempt burns simulated time, so the chaotic run's clock can
+  // only move forward relative to its own history.
+  for (size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i].sim_time_s,
+              result.history[i - 1].sim_time_s);
+  }
+}
+
+TEST(AsyncTest, CorruptedUploadsAreRejectedByChecksum) {
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 30;
+  config.eval_every = 0;
+  config.fault.corruption_prob = 0.5;
+  const AsyncRunResult result = f.Run(config);
+  EXPECT_EQ(result.updates_run, 30);
+  EXPECT_GT(result.faults.corrupt_rejected, 0);
+}
+
+TEST(AsyncTest, FaultyRunsAreDeterministic) {
+  Fixture f;
+  AsyncConfig config;
+  config.max_updates = 30;
+  config.eval_every = 10;
+  config.fault.link_failure_prob = 0.25;
+  config.fault.crash_prob = 0.1;
+  config.fault.corruption_prob = 0.1;
+  const AsyncRunResult a = f.Run(config);
+  const AsyncRunResult b = f.Run(config);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].sim_time_s, b.history[i].sim_time_s);
+    EXPECT_EQ(a.history[i].client, b.history[i].client);
+  }
+  EXPECT_EQ(a.faults.failures, b.faults.failures);
+  EXPECT_EQ(a.faults.crashes, b.faults.crashes);
+  EXPECT_EQ(a.faults.corrupt_rejected, b.faults.corrupt_rejected);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+}
+
 TEST(AsyncTest, TargetStops) {
   Fixture f;
   AsyncConfig config;

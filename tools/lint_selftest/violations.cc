@@ -107,8 +107,10 @@ struct OwnsCounters {
   void Tamper() {
     counters_.crashes -= 1;  // LINT-EXPECT: counter-mutation
     robust_counters_.screened_updates++;  // LINT-EXPECT: counter-mutation
+    chaos_counters_.retries++;  // LINT-EXPECT: counter-mutation
   }
   FixtureCounters robust_counters_;
+  FixtureCounters chaos_counters_;
 };
 
 // --- eager-client-alloc ----------------------------------------------------
