@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the snapshot-schema analyzer over the tree:
+#   1. tools/fedmigr_schema --self-test  — seeded mutation fixtures proving
+#                                          every check class still fires
+#   2. tools/fedmigr_schema              — writer/reader symmetry, member
+#                                          coverage, golden-manifest drift
+#                                          (docs/snapshot_schema.json) and
+#                                          version discipline
+#
+# Usage: scripts/schema.sh [--strict]
+#
+# Both steps only need python3; it is skipped with a notice when not
+# installed, unless --strict is given (CI passes --strict so a missing
+# interpreter fails loudly instead of silently passing).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+STRICT=0
+for arg in "$@"; do
+  case "$arg" in
+    --strict) STRICT=1 ;;
+    *) echo "usage: scripts/schema.sh [--strict]" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v python3 >/dev/null 2>&1; then
+  if [ "$STRICT" -eq 1 ]; then
+    echo "FAILED: python3 is not installed (required in --strict mode)" >&2
+    exit 1
+  fi
+  echo "== python3 not installed — schema analysis skipped (CI runs it)"
+  exit 0
+fi
+
+FAILURES=0
+
+echo "== fedmigr_schema --self-test"
+python3 tools/fedmigr_schema --self-test || FAILURES=$((FAILURES + 1))
+
+echo "== fedmigr_schema (src/ vs docs/snapshot_schema.json)"
+if [ "$STRICT" -eq 1 ]; then
+  python3 tools/fedmigr_schema --strict || FAILURES=$((FAILURES + 1))
+else
+  python3 tools/fedmigr_schema || FAILURES=$((FAILURES + 1))
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "schema: $FAILURES step(s) failed" >&2
+  exit 1
+fi
+echo "schema: OK"

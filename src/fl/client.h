@@ -113,8 +113,10 @@ class Client {
 
  private:
   int id_;
+  // SNAPSHOT-SKIP(construction-time view of the shared dataset)
   const data::Dataset* dataset_;
   std::vector<int> indices_;
+  // SNAPSHOT-SKIP(recomputed from the partition at construction)
   std::vector<double> label_distribution_;
   // Invariant: mutable access requires owns_model_; aliased blocks are
   // cloned first (see mutable_model).

@@ -252,6 +252,7 @@ class ReputationTracker {
 
   void Quarantine(ClientRecord* record, RobustCounters* counters);
 
+  // SNAPSHOT-SKIP(configuration, supplied identically on resume)
   ReputationConfig config_;
   std::vector<ClientRecord> states_;
   int round_ = 0;  // completed aggregation rounds

@@ -255,9 +255,11 @@ class Trainer {
                           const std::vector<int>* node_ids);
 
   TrainerConfig config_;
+  // SNAPSHOT-SKIP(construction-time inputs, supplied again on resume)
   const data::Dataset* train_;
   const data::Dataset* test_;
-  net::Topology topology_;
+  net::Topology topology_;  // SNAPSHOT-SKIP(construction-time input)
+  // SNAPSHOT-SKIP(construction-time input, supplied again on resume)
   std::vector<net::DeviceProfile> devices_;
   std::unique_ptr<MigrationPolicy> policy_;
   // Retained for lazy materialization; slot i is moved into client i when
@@ -266,6 +268,7 @@ class Trainer {
   data::Partition partition_;
   ShardedClients clients_;
   ModelStore store_;
+  // SNAPSHOT-SKIP(deterministic in config seed; rebuilt on construction)
   std::unique_ptr<CohortSampler> cohort_sampler_;
   std::vector<int> cohort_;       // sorted ids of the current round's cohort
   int64_t cohort_round_ = -1;     // round cohort_ belongs to
@@ -273,13 +276,15 @@ class Trainer {
   // committed, so BeginRound folds them into the next cohort and skips
   // their Model Distribution — they keep the pending local update.
   std::vector<int> carryover_;
+  // SNAPSHOT-SKIP(constant iota over [0, K), rebuilt on construction)
   std::vector<int> identity_;     // [0, K) — legacy active list
   std::unique_ptr<Server> server_;
   net::Budget budget_;
   net::TrafficAccountant traffic_;
   net::FaultInjector faults_;
   util::Rng rng_;
-  util::ThreadPool pool_;
+  util::ThreadPool pool_;  // SNAPSHOT-SKIP(runtime infrastructure)
+  // SNAPSHOT-SKIP(derived from the global model at construction)
   int64_t model_bytes_ = 0;
   int64_t model_params_ = 0;
 
@@ -301,6 +306,7 @@ class Trainer {
 
   // Robustness state: the aggregation rule installed into the server (null
   // = legacy FedAvg), per-client reputation, and the run's counters.
+  // SNAPSHOT-SKIP(rebuilt from config_.robust at construction)
   std::unique_ptr<Aggregator> aggregator_;
   ReputationTracker reputation_;
   RobustCounters robust_counters_;
@@ -317,7 +323,7 @@ class Trainer {
   };
   RunProgress progress_;
   RunResult result_;
-  EpochHook epoch_hook_;
+  EpochHook epoch_hook_;  // SNAPSHOT-SKIP(caller-installed callback)
 };
 
 }  // namespace fedmigr::fl

@@ -54,8 +54,11 @@ class Budget {
   util::Status LoadState(util::ByteReader* reader);
 
  private:
+  // SNAPSHOT-SKIP(configured limits; only consumed amounts are state)
   double compute_budget_ = std::numeric_limits<double>::infinity();
+  // SNAPSHOT-SKIP(configured limits; only consumed amounts are state)
   double bandwidth_budget_ = std::numeric_limits<double>::infinity();
+  // SNAPSHOT-SKIP(configured limits; only consumed amounts are state)
   double time_budget_ = std::numeric_limits<double>::infinity();
   double compute_used_ = 0.0;
   double bandwidth_used_ = 0.0;

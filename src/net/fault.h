@@ -267,6 +267,7 @@ class FaultInjector {
   double AttemptSeconds(int src, int dst, int64_t bytes,
                         const Topology& topology);
 
+  // SNAPSHOT-SKIP(configuration, supplied identically on resume)
   FaultConfig config_;
   util::Rng rng_;
   util::Rng attack_rng_;

@@ -39,9 +39,10 @@ class Sgd : public Optimizer {
   double learning_rate() const { return learning_rate_; }
 
  private:
+  // SNAPSHOT-SKIP(hyperparameters, supplied identically on resume)
   double learning_rate_;
   double momentum_;
-  double weight_decay_;
+  double weight_decay_;  // SNAPSHOT-SKIP(hyperparameter, from config)
   // Velocity buffers, lazily sized to the first model seen. Keyed by
   // parameter position; an optimizer instance serves one model.
   std::vector<Tensor> velocity_;
@@ -57,10 +58,12 @@ class Adam : public Optimizer {
   util::Status LoadState(util::ByteReader* reader) override;
 
  private:
+  // SNAPSHOT-SKIP(hyperparameters, supplied identically on resume)
   double learning_rate_;
+  // SNAPSHOT-SKIP(hyperparameters, supplied identically on resume)
   double beta1_;
   double beta2_;
-  double epsilon_;
+  double epsilon_;  // SNAPSHOT-SKIP(hyperparameter, from config)
   int64_t t_ = 0;
   std::vector<Tensor> m_;
   std::vector<Tensor> v_;

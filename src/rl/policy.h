@@ -63,6 +63,7 @@ class DrlMigrationPolicy : public fl::MigrationPolicy {
   };
 
   std::shared_ptr<DdpgAgent> agent_;
+  // SNAPSHOT-SKIP(configuration, supplied identically on resume)
   DrlPolicyOptions options_;
   PrioritizedReplayBuffer buffer_;
   util::Rng rng_;

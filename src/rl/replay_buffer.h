@@ -91,7 +91,9 @@ class PrioritizedReplayBuffer {
 
  private:
   size_t capacity_;
+  // SNAPSHOT-SKIP(prioritization hyperparameters, from configuration)
   double xi_;
+  // SNAPSHOT-SKIP(prioritization hyperparameters, from configuration)
   double beta_;
   std::vector<Transition> storage_;
   SumTree tree_;

@@ -1,0 +1,40 @@
+// Self-test fixture: a symmetric pair with a loop and a tag-guarded tail.
+// The writer stages the branch differently from the reader (payload inside
+// the writer's arm, tag-then-guard on the reader), which must still pass
+// via the relaxed branchy-scope comparison.  No findings expected.
+namespace fixture {
+
+constexpr uint32_t kCleanVersion = 1;
+
+void WriteThing(util::ByteWriter* writer, const Thing& t) {
+  writer->WriteU32(kCleanVersion);
+  writer->WriteU64(t.items.size());
+  for (const double item : t.items) {
+    writer->WriteF64(item);
+  }
+  if (t.has_tail) {
+    writer->WriteBool(true);
+    writer->WriteString(t.tail);
+  } else {
+    writer->WriteBool(false);
+  }
+}
+
+util::Status ReadThing(util::ByteReader* reader, Thing* t) {
+  uint32_t version = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&version));
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    double item = 0.0;
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&item));
+    t->items.push_back(item);
+  }
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadBool(&t->has_tail));
+  if (t->has_tail) {
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadString(&t->tail));
+  }
+  return util::OkStatus();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Mutation fixture: the writer emits two fields, the reader consumes one
+// (a LoadState edit forgot the second read).
+namespace fixture {
+
+// SCHEMA-EXPECT: asymmetry
+void WritePoint(util::ByteWriter* writer, const Point& p) {
+  writer->WriteU32(p.x);
+  writer->WriteU64(p.y);
+}
+
+util::Status ReadPoint(util::ByteReader* reader, Point* p) {
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&p->x));
+  return util::OkStatus();
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Mutation fixture: the writer emits a length-prefixed element loop, the
+// reader consumes a single element (loop nesting lost in an edit).
+namespace fixture {
+
+// SCHEMA-EXPECT: asymmetry
+void WriteSeries(util::ByteWriter* writer, const std::vector<float>& v) {
+  writer->WriteU64(v.size());
+  for (const float f : v) {
+    writer->WriteF32(f);
+  }
+}
+
+util::Status ReadSeries(util::ByteReader* reader, std::vector<float>* v) {
+  uint64_t count = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&count));
+  float f = 0.0f;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF32(&f));
+  v->push_back(f);
+  return util::OkStatus();
+}
+
+}  // namespace fixture

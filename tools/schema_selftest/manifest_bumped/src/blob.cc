@@ -1,0 +1,21 @@
+// Mutation fixture: the same schema edit as manifest_stale, but the author
+// bumped the version constant - so only the stale-manifest drift fires,
+// not version-discipline.
+namespace fixture {
+
+constexpr uint32_t kFixtureVersion = 2;
+
+// SCHEMA-EXPECT: drift
+void WriteBlob(util::ByteWriter* writer, const Blob& b) {
+  writer->WriteU32(kFixtureVersion);
+  writer->WriteU64(b.payload);
+}
+
+util::Status ReadBlob(util::ByteReader* reader, Blob* b) {
+  uint32_t version = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&version));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&b->payload));
+  return util::OkStatus();
+}
+
+}  // namespace fixture

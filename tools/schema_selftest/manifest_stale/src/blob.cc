@@ -1,0 +1,20 @@
+// Mutation fixture: a field was added to the wire schema but golden.json
+// and the version constant were left untouched.
+namespace fixture {
+
+constexpr uint32_t kFixtureVersion = 1;
+
+// SCHEMA-EXPECT: drift, version-discipline
+void WriteBlob(util::ByteWriter* writer, const Blob& b) {
+  writer->WriteU32(kFixtureVersion);
+  writer->WriteU64(b.payload);
+}
+
+util::Status ReadBlob(util::ByteReader* reader, Blob* b) {
+  uint32_t version = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&version));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&b->payload));
+  return util::OkStatus();
+}
+
+}  // namespace fixture

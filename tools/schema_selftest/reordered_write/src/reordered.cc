@@ -1,0 +1,17 @@
+// Mutation fixture: same fields, opposite order.  Both positions mismatch,
+// so the strict pairwise comparison reports two element findings.
+namespace fixture {
+
+// SCHEMA-EXPECT: asymmetry, asymmetry
+void WritePair(util::ByteWriter* writer, const Pair& p) {
+  writer->WriteU32(p.tag);
+  writer->WriteF64(p.value);
+}
+
+util::Status ReadPair(util::ByteReader* reader, Pair* p) {
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadF64(&p->value));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU32(&p->tag));
+  return util::OkStatus();
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Mutation fixture: a 4-byte write paired with an 8-byte read.
+namespace fixture {
+
+// SCHEMA-EXPECT: asymmetry
+void WriteCounter(util::ByteWriter* writer, const Counter& c) {
+  writer->WriteI32(c.value);
+}
+
+util::Status ReadCounter(util::ByteReader* reader, Counter* c) {
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&c->value));
+  return util::OkStatus();
+}
+
+}  // namespace fixture

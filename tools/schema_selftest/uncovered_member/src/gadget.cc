@@ -1,0 +1,24 @@
+// Mutation fixture: one member serialized, one silently skipped (fires),
+// one skipped with the mandatory annotation (does not fire).
+namespace fixture {
+
+class Gadget {
+ public:
+  void SaveState(util::ByteWriter* writer) const {
+    writer->WriteI64(count_);
+  }
+
+  util::Status LoadState(util::ByteReader* reader) {
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&count_));
+    return util::OkStatus();
+  }
+
+ private:
+  int64_t count_ = 0;
+  // SCHEMA-EXPECT: coverage
+  double stray_ = 0.0;
+  // SNAPSHOT-SKIP(derived cache, rebuilt lazily on first use)
+  double cache_ = 0.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Mutation fixture: a SaveState with no LoadState anywhere in the tree.
+namespace fixture {
+
+class Orphan {
+ public:
+  // SCHEMA-EXPECT: unpaired
+  void SaveState(util::ByteWriter* writer) const {
+    writer->WriteU32(seq_);
+  }
+
+ private:
+  uint32_t seq_ = 0;
+};
+
+}  // namespace fixture
