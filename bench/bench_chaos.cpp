@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common.h"
+#include "obs/journal.h"
 #include "util/csv.h"
 #include "util/file.h"
 #include "util/logging.h"
@@ -56,6 +57,11 @@ struct Condition {
 struct ChaosPoint {
   std::string name;
   fl::RunResult result;
+  // Totals re-derived from the flight-recorder event streams (all seeds),
+  // reconciled against the trainer's independently-serialized ChaosCounters
+  // when --journal-out is given.
+  obs::JournalSummary journal;
+  int64_t epochs_run = 0;
 };
 
 // The chaos script: a two-epoch partition storm every 40 epochs (each
@@ -134,6 +140,11 @@ std::string JsonReport(const std::vector<ChaosPoint>& points, int epochs) {
 int main(int argc, char** argv) {
   const bench::TelemetryFlags telemetry_flags =
       bench::ParseTelemetryFlags(argc, argv);
+  // --journal-out=DIR records one flight-recorder journal per (condition,
+  // seed) run and adds a journal-vs-counters reconciliation table; without
+  // the flag the output stays byte-identical.
+  const bench::JournalFlags journal_flags =
+      bench::ParseJournalFlags(argc, argv);
   bench::BeginTelemetry(telemetry_flags);
 
   int epochs = 120;
@@ -177,6 +188,8 @@ int main(int argc, char** argv) {
     // Mean over seeds: the 250-sample synthetic test set quantizes accuracy
     // to 0.4-point steps, so single-seed deltas are mostly noise.
     fl::RunResult result;
+    obs::JournalSummary journal_total;
+    int64_t epochs_total = 0;
     for (uint64_t seed : seeds) {
       bench::BenchRunOptions run;
       run.max_epochs = epochs;
@@ -189,7 +202,44 @@ int main(int argc, char** argv) {
         run.fault.chaos = MakeChaosScript(workload_options.num_lans, epochs);
         run.fault.chaos.churn_seed = 101 + seed;
       }
-      const fl::RunResult one = bench::RunBench(workload, "randmigr", run);
+      // All three conditions run the same (scheme, seed) pair, so the run
+      // name carries the condition to keep the journal files apart.
+      const std::string run_name =
+          std::string(condition.name) + "-s" + std::to_string(seed);
+      const fl::RunResult one =
+          bench::RunBenchNamed(workload, "randmigr", run,
+                               bench::SnapshotFlags(), journal_flags,
+                               run_name);
+      if (journal_flags.enabled()) {
+        const util::Result<obs::JournalContents> contents =
+            obs::ReadJournalFile(journal_flags.PathFor(run_name));
+        FEDMIGR_CHECK(contents.ok())
+            << "journal read failed for " << run_name << ": "
+            << contents.status().ToString();
+        FEDMIGR_CHECK(contents->has_summary)
+            << "journal for " << run_name << " is missing its summary chunk";
+        // Reconciliation half one: the summary chunk must re-derive exactly
+        // from the event stream it summarizes.
+        const obs::JournalSummary derived =
+            obs::SummarizeJournalEvents(contents->events);
+        FEDMIGR_CHECK_EQ(contents->summary.epochs_run, derived.epochs_run);
+        FEDMIGR_CHECK_EQ(contents->summary.migrations_planned,
+                         derived.migrations_planned);
+        journal_total.epochs_run += derived.epochs_run;
+        journal_total.migrations_planned += derived.migrations_planned;
+        journal_total.migrations_completed += derived.migrations_completed;
+        journal_total.migration_fallbacks += derived.migration_fallbacks;
+        journal_total.migrations_rolled_back +=
+            derived.migrations_rolled_back;
+        journal_total.quorum_commits += derived.quorum_commits;
+        journal_total.quorum_misses += derived.quorum_misses;
+        journal_total.carryover_clients += derived.carryover_clients;
+        journal_total.churn_absences += derived.churn_absences;
+        journal_total.churn_departures += derived.churn_departures;
+        journal_total.quarantines += derived.quarantines;
+        journal_total.model_publishes += derived.model_publishes;
+        epochs_total += one.epochs_run;
+      }
       result.final_accuracy += one.final_accuracy / num_seeds;
       result.best_accuracy += one.best_accuracy / num_seeds;
       result.traffic_gb += one.traffic_gb / num_seeds;
@@ -222,6 +272,29 @@ int main(int argc, char** argv) {
                          chaos.migrations_rolled_back)
         << "chaos ledger does not reconcile for " << condition.name;
 
+    // Reconciliation half two: the journal's event-derived totals must
+    // match the ChaosCounters the trainer accumulated independently.
+    if (journal_flags.enabled()) {
+      FEDMIGR_CHECK_EQ(journal_total.epochs_run, epochs_total)
+          << "journal epochs diverge for " << condition.name;
+      FEDMIGR_CHECK_EQ(journal_total.migrations_planned,
+                       chaos.migrations_planned)
+          << "journal migrations diverge for " << condition.name;
+      FEDMIGR_CHECK_EQ(journal_total.migrations_completed,
+                       chaos.migrations_completed);
+      FEDMIGR_CHECK_EQ(journal_total.migration_fallbacks,
+                       chaos.migration_fallbacks);
+      FEDMIGR_CHECK_EQ(journal_total.migrations_rolled_back,
+                       chaos.migrations_rolled_back);
+      FEDMIGR_CHECK_EQ(journal_total.quorum_commits, chaos.quorum_commits);
+      FEDMIGR_CHECK_EQ(journal_total.quorum_misses, chaos.quorum_misses);
+      FEDMIGR_CHECK_EQ(journal_total.carryover_clients,
+                       chaos.carryover_clients);
+      FEDMIGR_CHECK_EQ(journal_total.churn_absences, chaos.churn_absences);
+      FEDMIGR_CHECK_EQ(journal_total.churn_departures,
+                       chaos.churn_departures);
+    }
+
     table.AddRow();
     table.AddCell(condition.name);
     table.AddCell(100.0 * result.final_accuracy, 1);
@@ -240,9 +313,40 @@ int main(int argc, char** argv) {
     table.AddCell(static_cast<int>(chaos.migrations_rolled_back));
     table.AddCell(static_cast<int>(result.faults.partitioned_transfers +
                                    result.faults.outage_transfers));
-    points.push_back({condition.name, result});
+    points.push_back({condition.name, result, journal_total, epochs_total});
   }
   table.Print(std::cout);
+
+  if (journal_flags.enabled()) {
+    // Every cell below was cross-checked twice before printing: summary
+    // chunk vs event stream per run, event totals vs ChaosCounters per
+    // condition (the FEDMIGR_CHECK_EQs above).
+    std::printf(
+        "\nFlight-recorder reconciliation (journal-derived totals, all "
+        "seeds):\n\n");
+    util::TableWriter recon(
+        {"condition", "epochs", "publishes", "migr plan", "migr c2c",
+         "fallback", "rolled back", "commits", "misses", "carryover",
+         "absent", "departed", "vs counters"});
+    for (const ChaosPoint& point : points) {
+      const obs::JournalSummary& j = point.journal;
+      recon.AddRow();
+      recon.AddCell(point.name);
+      recon.AddCell(static_cast<int>(j.epochs_run));
+      recon.AddCell(static_cast<int>(j.model_publishes));
+      recon.AddCell(static_cast<int>(j.migrations_planned));
+      recon.AddCell(static_cast<int>(j.migrations_completed));
+      recon.AddCell(static_cast<int>(j.migration_fallbacks));
+      recon.AddCell(static_cast<int>(j.migrations_rolled_back));
+      recon.AddCell(static_cast<int>(j.quorum_commits));
+      recon.AddCell(static_cast<int>(j.quorum_misses));
+      recon.AddCell(static_cast<int>(j.carryover_clients));
+      recon.AddCell(static_cast<int>(j.churn_absences));
+      recon.AddCell(static_cast<int>(j.churn_departures));
+      recon.AddCell("ok");
+    }
+    recon.Print(std::cout);
+  }
 
   const double fault_free = points[0].result.final_accuracy;
   const double watchdog = points[1].result.final_accuracy;

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "common.h"
 #include "util/csv.h"
@@ -30,6 +31,10 @@ int main(int argc, char** argv) {
   // with the chosen defense. Without the flags nothing changes and the
   // table stays byte-identical.
   const bench::RobustFlags robust_flags = bench::ParseRobustFlags(argc, argv);
+  // --journal-out=DIR records one flight-recorder journal per (scheme,
+  // failure-rate) run; file outputs only, the table stays byte-identical.
+  const bench::JournalFlags journal_flags =
+      bench::ParseJournalFlags(argc, argv);
   // --cohort=N activates N clients per round (0 = full participation);
   // --quorum=F arms the round-progress watchdog at fraction F.
   int cohort_size = 0;
@@ -82,7 +87,15 @@ int main(int argc, char** argv) {
       run.cohort_size = cohort_size;
       run.quorum_fraction = quorum_fraction;
       robust_flags.ApplyTo(&run);
-      const fl::RunResult result = bench::RunBench(workload, scheme, run);
+      // One run per (scheme, failure rate) at a fixed seed — the rate joins
+      // the run name so the journals don't collide.
+      char run_name[64];
+      std::snprintf(run_name, sizeof(run_name), "%s-p%02d-s%d", scheme,
+                    static_cast<int>(rate * 100.0 + 0.5),
+                    static_cast<int>(run.seed));
+      const fl::RunResult result =
+          bench::RunBenchNamed(workload, scheme, run, bench::SnapshotFlags(),
+                               journal_flags, run_name);
       table.AddRow();
       table.AddCell(scheme);
       table.AddCell(rate, 2);

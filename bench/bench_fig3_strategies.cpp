@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
   // on stdout stays byte-identical.
   const bench::TelemetryFlags telemetry_flags =
       bench::ParseTelemetryFlags(argc, argv);
+  // --journal-out=DIR records one flight-recorder journal per (strategy,
+  // seed) run; --journal-sample thins client-detail events.
+  const bench::JournalFlags journal_flags =
+      bench::ParseJournalFlags(argc, argv);
   bench::BeginTelemetry(telemetry_flags);
 
   const char* strategies[] = {"crosslan", "randonly", "withinlan"};
@@ -51,8 +55,8 @@ int main(int argc, char** argv) {
     run.eval_every = kEvalEvery;
     run.seed = seed;
     for (const char* strategy : strategies) {
-      const fl::RunResult result =
-          bench::RunBench(workload, strategy, run, snapshot_flags);
+      const fl::RunResult result = bench::RunBench(
+          workload, strategy, run, snapshot_flags, journal_flags);
       if (result.interrupted) {
         // Partial history; the snapshot holds the progress. The table from
         // this invocation is incomplete — rerun with --resume.

@@ -22,9 +22,12 @@
 #include <vector>
 
 #include "common.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/csv.h"
+#include "util/file.h"
+#include "util/logging.h"
 #include "util/stats.h"
 
 namespace {
@@ -81,6 +84,53 @@ InterleavedSamples TimedRun(const fedmigr::core::Workload& workload,
   watch.Restart();
   trainer.Run();
   obs::Telemetry::Enable();
+  return samples;
+}
+
+// Same interleaved harness for the flight recorder: telemetry stays
+// disabled throughout, and the journal is attached/detached per epoch via
+// the epoch hook (an off epoch emits no events and commits no chunk), so
+// the paired differences isolate exactly the journal's cost — event
+// buffering plus one framed append to a real file per committed epoch.
+InterleavedSamples JournalTimedRun(const fedmigr::core::Workload& workload,
+                                   const std::string& scheme, int pairs,
+                                   const std::string& path) {
+  using namespace fedmigr;
+  const int epochs = 2 * pairs;
+  bench::BenchRunOptions run;
+  run.max_epochs = epochs;
+  run.eval_every = epochs;
+  fl::SchemeSetup setup = bench::MakeBenchScheme(scheme, workload, run);
+  fl::Trainer trainer(setup.config, &workload.data.train, workload.partition,
+                      &workload.data.test, workload.topology,
+                      workload.devices, workload.model_factory,
+                      std::move(setup.policy));
+  (void)util::RemoveFile(path);
+  obs::Journal::Options journal_options;
+  journal_options.path = path;
+  obs::Journal journal(journal_options);
+  const util::Status attached = journal.Attach(0);
+  FEDMIGR_CHECK(attached.ok()) << attached.ToString();
+  InterleavedSamples samples;
+  samples.on.reserve(static_cast<size_t>(pairs));
+  samples.off.reserve(static_cast<size_t>(pairs));
+  int completed = 0;
+  obs::Stopwatch watch;
+  trainer.SetEpochHook([&](const fl::Trainer&, int) {
+    const double elapsed = watch.ElapsedMs();
+    (TelemetryOnForEpoch(completed) ? samples.on : samples.off)
+        .push_back(elapsed);
+    ++completed;
+    trainer.SetJournal(TelemetryOnForEpoch(completed) ? &journal : nullptr);
+    watch.Restart();
+    return true;
+  });
+  obs::Telemetry::Disable();
+  trainer.SetJournal(&journal);
+  watch.Restart();
+  trainer.Run();
+  obs::Telemetry::Enable();
+  (void)util::RemoveFile(path);
   return samples;
 }
 
@@ -145,6 +195,48 @@ int main(int argc, char** argv) {
       "the off median;\non/off epochs interleaved ABBA within one run; "
       "budget <2%%.%s\n",
       over_budget ? " WARNING: budget exceeded on this host/run." : "");
+
+  // Flight-recorder cost through the same harness: the journal (full
+  // client-detail sampling, real framed file appends) toggled per epoch
+  // with telemetry off, so this row charges the journal alone.
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string journal_path =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+      "/fedmigr-bench-telemetry.fjrn";
+  std::printf("\nFlight-recorder (journal) overhead per epoch, same "
+              "interleaved harness\n\n");
+  util::TableWriter journal_table({"scheme", "off p50 (ms)", "on p50 (ms)",
+                                   "off p90 (ms)", "on p90 (ms)",
+                                   "overhead (%)"});
+  bool journal_over_budget = false;
+  for (const char* scheme : {"fedavg", "fedmigr"}) {
+    (void)JournalTimedRun(workload, scheme, std::min(epochs, 3),
+                          journal_path);
+    const InterleavedSamples samples =
+        JournalTimedRun(workload, scheme, epochs, journal_path);
+    const util::Summary off = util::Summarize(samples.off);
+    const util::Summary on = util::Summarize(samples.on);
+    std::vector<double> diffs;
+    diffs.reserve(std::min(samples.on.size(), samples.off.size()));
+    for (size_t i = 0; i < samples.on.size() && i < samples.off.size(); ++i) {
+      diffs.push_back(samples.on[i] - samples.off[i]);
+    }
+    const double overhead =
+        off.p50 > 0.0 ? 100.0 * util::Percentile(diffs, 50.0) / off.p50 : 0.0;
+    journal_over_budget = journal_over_budget || overhead > 2.0;
+    journal_table.AddRow();
+    journal_table.AddCell(scheme);
+    journal_table.AddCell(off.p50, 3);
+    journal_table.AddCell(on.p50, 3);
+    journal_table.AddCell(off.p90, 3);
+    journal_table.AddCell(on.p90, 3);
+    journal_table.AddCell(overhead, 2);
+  }
+  journal_table.Print(std::cout);
+  std::printf(
+      "\njournal epochs append one CRC-framed chunk each; budget <2%%.%s\n",
+      journal_over_budget ? " WARNING: budget exceeded on this host/run."
+                          : "");
 
   bench::FinishTelemetry(telemetry_flags);
   return 0;

@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "fl/policies.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/file.h"
 #include "util/logging.h"
 
 namespace fedmigr::bench {
@@ -111,10 +114,58 @@ fl::RunResult RunBench(const core::Workload& workload,
                        const std::string& scheme,
                        const BenchRunOptions& options,
                        const SnapshotFlags& flags) {
-  const std::string run_name =
-      scheme + "-s" + std::to_string(options.seed);
+  return RunBench(workload, scheme, options, flags, JournalFlags());
+}
+
+std::string JournalFlags::PathFor(const std::string& run_name) const {
+  if (!enabled()) return std::string();
+  return directory + "/" + run_name + ".fjrn";
+}
+
+JournalFlags ParseJournalFlags(int argc, char** argv) {
+  JournalFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue(argv[i], "--journal-out=")) {
+      flags.directory = v;
+    } else if (const char* v = FlagValue(argv[i], "--journal-sample=")) {
+      flags.sample_rate = std::atof(v);
+    }
+  }
+  return flags;
+}
+
+fl::RunResult RunBench(const core::Workload& workload,
+                       const std::string& scheme,
+                       const BenchRunOptions& options,
+                       const SnapshotFlags& snapshot_flags,
+                       const JournalFlags& journal_flags) {
+  return RunBenchNamed(workload, scheme, options, snapshot_flags,
+                       journal_flags,
+                       scheme + "-s" + std::to_string(options.seed));
+}
+
+fl::RunResult RunBenchNamed(const core::Workload& workload,
+                            const std::string& scheme,
+                            const BenchRunOptions& options,
+                            const SnapshotFlags& snapshot_flags,
+                            const JournalFlags& journal_flags,
+                            const std::string& run_name) {
+  core::RunControl control = MakeRunControl(snapshot_flags, run_name);
+  std::unique_ptr<obs::Journal> journal;
+  if (journal_flags.enabled()) {
+    const util::Status made = util::MakeDirectories(journal_flags.directory);
+    if (!made.ok()) {
+      FEDMIGR_LOG(kError) << "journal dir failed: " << made.ToString();
+    } else {
+      obs::Journal::Options journal_options;
+      journal_options.path = journal_flags.PathFor(run_name);
+      journal_options.sample_rate = journal_flags.sample_rate;
+      journal = std::make_unique<obs::Journal>(journal_options);
+      control.journal = journal.get();
+    }
+  }
   return core::RunScheme(workload, MakeBenchScheme(scheme, workload, options),
-                         MakeRunControl(flags, run_name));
+                         control);
 }
 
 TelemetryFlags ParseTelemetryFlags(int argc, char** argv) {

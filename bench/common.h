@@ -101,6 +101,40 @@ fl::RunResult RunBench(const core::Workload& workload,
                        const BenchRunOptions& options,
                        const SnapshotFlags& flags);
 
+// Flight-recorder flags shared by the bench binaries:
+//   --journal-out=DIR    record an event journal per run (obs/journal.h)
+//                        under DIR/<run_name>.fjrn
+//   --journal-sample=F   client-detail sampling rate in [0, 1] (default 1;
+//                        reconciliation event kinds are never sampled)
+// Journals are file outputs only — tables on stdout stay byte-identical.
+struct JournalFlags {
+  std::string directory;
+  double sample_rate = 1.0;
+  bool enabled() const { return !directory.empty(); }
+  // Journal file path for one named run; empty when disabled.
+  std::string PathFor(const std::string& run_name) const;
+};
+
+JournalFlags ParseJournalFlags(int argc, char** argv);
+
+// RunBench with crash-safety and an optional flight recorder: the journal
+// is attached with the resumed-from epoch (so --resume replays to a
+// byte-equal journal) and written to journal_flags.PathFor(run_name). The
+// run name defaults to "<scheme>-s<seed>"; binaries that launch several
+// runs per (scheme, seed) pair use RunBenchNamed with a distinguishing
+// name, exactly like MakeRunControl.
+fl::RunResult RunBench(const core::Workload& workload,
+                       const std::string& scheme,
+                       const BenchRunOptions& options,
+                       const SnapshotFlags& snapshot_flags,
+                       const JournalFlags& journal_flags);
+fl::RunResult RunBenchNamed(const core::Workload& workload,
+                            const std::string& scheme,
+                            const BenchRunOptions& options,
+                            const SnapshotFlags& snapshot_flags,
+                            const JournalFlags& journal_flags,
+                            const std::string& run_name);
+
 // Telemetry flags shared by the bench binaries:
 //   --metrics-out=PATH  write a registry snapshot (JSON; .csv extension
 //                       switches to CSV) when the bench finishes

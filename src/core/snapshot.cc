@@ -249,6 +249,17 @@ fl::RunResult RunScheme(const Workload& workload, fl::SchemeSetup setup,
     *control.resumed_from_epoch = resumed_from;
   }
 
+  if (control.journal != nullptr) {
+    // Attach AFTER the resume decision: the journal keeps exactly the
+    // chunks of epochs the restored trainer will not replay.
+    if (!control.journal->attached()) {
+      const util::Status attached = control.journal->Attach(resumed_from);
+      FEDMIGR_CHECK(attached.ok())
+          << "journal attach failed: " << attached.ToString();
+    }
+    trainer.SetJournal(control.journal);
+  }
+
   if (control.handle_signals) InstallInterruptHandlers();
 
   if (manager.enabled() || control.handle_signals) {

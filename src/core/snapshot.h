@@ -117,6 +117,11 @@ struct RunControl {
   bool handle_signals = false;
   // When non-null, receives the epoch resumed from (0 = fresh start).
   int* resumed_from_epoch = nullptr;
+  // Optional flight recorder (obs/journal.h). RunScheme attaches it with
+  // the resumed-from epoch — truncating journal chunks the resumed run will
+  // replay — and installs it into the trainer, so a killed-and-resumed run
+  // produces a byte-equal journal. Non-owning; must outlive the call.
+  obs::Journal* journal = nullptr;
 };
 
 // RunScheme with crash-safety: auto-resume, cadence snapshots and a final

@@ -2,10 +2,39 @@
 
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace fedmigr::fl {
+namespace {
+
+// Registry instrumentation for the sharded container (observation only:
+// Get() runs concurrently inside ParallelFor, so these are the registry's
+// relaxed atomics and nothing here feeds back into simulation state).
+struct ShardMetrics {
+  obs::Counter* hits;        // Get() found a materialized client
+  obs::Counter* misses;      // Get() hit a lazy slot (nullptr)
+  obs::Counter* evictions;   // Evict() destroyed a materialized client
+  obs::Gauge* resident_shards;
+
+  static const ShardMetrics& Get() {
+    static const ShardMetrics* metrics = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      return new ShardMetrics{
+          registry.GetCounter("fl/shard_hits"),
+          registry.GetCounter("fl/shard_misses"),
+          registry.GetCounter("fl/shard_evictions"),
+          registry.GetGauge("fl/resident_shards"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
 namespace {
 
 // splitmix64 finalizer: decorrelates (seed, round) pairs before they seed
@@ -54,15 +83,30 @@ ShardedClients::ShardedClients(int num_clients) : num_clients_(num_clients) {
 Client* ShardedClients::Get(int i) const {
   FEDMIGR_CHECK(i >= 0 && i < num_clients_);
   const Shard* shard = shards_[static_cast<size_t>(i >> kShardBits)].get();
-  if (shard == nullptr) return nullptr;
-  return shard->slots[i & ((1 << kShardBits) - 1)].get();
+  Client* client =
+      shard == nullptr ? nullptr
+                       : shard->slots[i & ((1 << kShardBits) - 1)].get();
+  if (obs::Telemetry::enabled()) {
+    if (client != nullptr) {
+      ShardMetrics::Get().hits->Increment();
+    } else {
+      ShardMetrics::Get().misses->Increment();
+    }
+  }
+  return client;
 }
 
 Client* ShardedClients::Put(int i, std::unique_ptr<Client> client) {
   FEDMIGR_CHECK(i >= 0 && i < num_clients_);
   FEDMIGR_CHECK(client != nullptr);
   auto& shard = shards_[static_cast<size_t>(i >> kShardBits)];
-  if (shard == nullptr) shard = std::make_unique<Shard>();
+  if (shard == nullptr) {
+    shard = std::make_unique<Shard>();
+    ++resident_shards_;
+    if (obs::Telemetry::enabled()) {
+      ShardMetrics::Get().resident_shards->Set(resident_shards_);
+    }
+  }
   auto& slot = shard->slots[i & ((1 << kShardBits) - 1)];
   if (slot == nullptr) ++materialized_;
   slot = std::move(client);
@@ -77,6 +121,9 @@ void ShardedClients::Evict(int i) {
   if (slot != nullptr) {
     slot.reset();
     --materialized_;
+    if (obs::Telemetry::enabled()) {
+      ShardMetrics::Get().evictions->Increment();
+    }
   }
 }
 

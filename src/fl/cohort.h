@@ -51,6 +51,9 @@ class ShardedClients {
   // Materialized clients currently held (drives the fl/materialized_models
   // gauge and the memory acceptance test).
   int num_materialized() const { return materialized_; }
+  // Shards with at least one ever-materialized client (fl/resident_shards
+  // gauge; shards are never returned to the lazy state).
+  int num_resident_shards() const { return resident_shards_; }
 
   // The client at `i`, or nullptr while it is still lazy.
   Client* Get(int i) const;
@@ -71,6 +74,7 @@ class ShardedClients {
 
   int num_clients_ = 0;
   int materialized_ = 0;
+  int resident_shards_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -8,6 +8,8 @@ const ModelRef& ModelStore::Publish(const nn::Sequential& aggregate) {
   aggregate_ = std::make_shared<const nn::Sequential>(aggregate);
   flat_ = std::make_shared<const std::vector<float>>(
       nn::FlattenParams(*aggregate_));
+  parent_lineage_ = aggregate_lineage_;
+  aggregate_lineage_ = next_lineage_id_++;
   return aggregate_;
 }
 

@@ -20,6 +20,7 @@
 #ifndef FEDMIGR_FL_MODEL_STORE_H_
 #define FEDMIGR_FL_MODEL_STORE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -62,9 +63,30 @@ class ModelStore {
   // references and tests).
   static FlatRef Flatten(const nn::Sequential& model);
 
+  // --- Lineage (flight recorder, DESIGN.md §16) ---------------------------
+  // Publish is the only mint site for lineage ids: each published block gets
+  // the next id from a serial monotonic counter, so ids are deterministic
+  // regardless of thread counts. CoW clones made from a block inherit its
+  // lineage (a clone continues the same causal line; the trainer threads the
+  // per-client id through migrations). Id 0 is "no lineage" (pre-publish).
+  int64_t aggregate_lineage() const { return aggregate_lineage_; }
+  // Lineage of the block the current aggregate replaced (DAG parent edge).
+  int64_t parent_lineage() const { return parent_lineage_; }
+  // Snapshot plumbing: the trainer serializes the mint state so a resumed
+  // run continues the same id sequence byte-for-byte.
+  int64_t next_lineage_id() const { return next_lineage_id_; }
+  void RestoreLineage(int64_t next_id, int64_t aggregate, int64_t parent) {
+    next_lineage_id_ = next_id;
+    aggregate_lineage_ = aggregate;
+    parent_lineage_ = parent;
+  }
+
  private:
   ModelRef aggregate_;
   FlatRef flat_;
+  int64_t next_lineage_id_ = 1;
+  int64_t aggregate_lineage_ = 0;
+  int64_t parent_lineage_ = 0;
 };
 
 }  // namespace fedmigr::fl

@@ -497,8 +497,22 @@ int ReputationTracker::first_quarantine_round(int client) const {
   return states_[static_cast<size_t>(client)].first_quarantine_round;
 }
 
+void ReputationTracker::RecordTransition(int client, ReputationState from,
+                                         ReputationState to) {
+  transitions_.push_back(Transition{client, from, to});
+}
+
+std::vector<ReputationTracker::Transition>
+ReputationTracker::DrainTransitions() {
+  std::vector<Transition> drained;
+  drained.swap(transitions_);
+  return drained;
+}
+
 void ReputationTracker::Quarantine(ClientRecord* record,
                                    RobustCounters* counters) {
+  RecordTransition(static_cast<int>(record - states_.data()), record->state,
+                   ReputationState::kQuarantined);
   record->state = ReputationState::kQuarantined;
   // +1 because AdvanceRound still ticks the triggering round: the client
   // stays masked for `quarantine_rounds` *full* rounds after this one.
@@ -516,6 +530,8 @@ void ReputationTracker::ReportFlagged(int client, RobustCounters* counters) {
   ClientRecord& record = states_[static_cast<size_t>(client)];
   switch (record.state) {
     case ReputationState::kHealthy:
+      RecordTransition(client, ReputationState::kHealthy,
+                       ReputationState::kSuspect);
       record.state = ReputationState::kSuspect;
       record.strikes = 1;
       record.clean_streak = 0;
@@ -544,6 +560,8 @@ void ReputationTracker::ReportClean(int client) {
     case ReputationState::kSuspect:
       ++record.clean_streak;
       if (record.clean_streak >= config_.patience) {
+        RecordTransition(client, ReputationState::kSuspect,
+                         ReputationState::kHealthy);
         record.state = ReputationState::kHealthy;
         record.strikes = 0;
         record.clean_streak = 0;
@@ -562,14 +580,19 @@ void ReputationTracker::AdvanceRound(RobustCounters* counters) {
   if (!enabled()) return;
   ++round_;
   for (ClientRecord& record : states_) {
+    const int client = static_cast<int>(&record - states_.data());
     if (record.state == ReputationState::kQuarantined) {
       if (--record.quarantine_left <= 0) {
+        RecordTransition(client, ReputationState::kQuarantined,
+                         ReputationState::kRehabilitating);
         record.state = ReputationState::kRehabilitating;
         record.strikes = 0;
         record.clean_streak = 0;
       }
     } else if (record.state == ReputationState::kRehabilitating &&
                record.clean_streak >= config_.patience) {
+      RecordTransition(client, ReputationState::kRehabilitating,
+                       ReputationState::kHealthy);
       record.state = ReputationState::kHealthy;
       record.strikes = 0;
       record.clean_streak = 0;

@@ -241,6 +241,18 @@ class ReputationTracker {
   void SaveState(util::ByteWriter* writer) const;
   util::Status LoadState(util::ByteReader* reader);
 
+  // One state-machine edge, recorded as it happens. Drained by the trainer
+  // once per round and re-emitted as journal kQuarantineTransition events.
+  struct Transition {
+    int client = 0;
+    ReputationState from = ReputationState::kHealthy;
+    ReputationState to = ReputationState::kHealthy;
+  };
+
+  // Returns the transitions recorded since the last drain (in report/tick
+  // order, so deterministic) and clears the list.
+  std::vector<Transition> DrainTransitions();
+
  private:
   struct ClientRecord {
     ReputationState state = ReputationState::kHealthy;
@@ -251,11 +263,16 @@ class ReputationTracker {
   };
 
   void Quarantine(ClientRecord* record, RobustCounters* counters);
+  void RecordTransition(int client, ReputationState from, ReputationState to);
 
   // SNAPSHOT-SKIP(configuration, supplied identically on resume)
   ReputationConfig config_;
   std::vector<ClientRecord> states_;
   int round_ = 0;  // completed aggregation rounds
+  // Drained into the journal every aggregation round, so always empty at
+  // the epoch boundaries where snapshots are taken.
+  // SNAPSHOT-SKIP(drained every round; empty at snapshot boundaries)
+  std::vector<Transition> transitions_;
 };
 
 // ---------------------------------------------------------------------------

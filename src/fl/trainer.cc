@@ -65,6 +65,7 @@ Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
   model_params_ = global.NumParams();
   server_ = std::make_unique<Server>(global, test_);
   store_.Publish(global);
+  model_lineage_.assign(static_cast<size_t>(k), 0);
 
   FEDMIGR_CHECK_GT(config_.client_fraction, 0.0);
   FEDMIGR_CHECK_LE(config_.client_fraction, 1.0);
@@ -104,6 +105,7 @@ Trainer::Trainer(TrainerConfig config, const data::Dataset* train,
       Client& client = ClientAt(i);
       client.SetModel(store_.aggregate());
       client.SetProximalReference(store_.aggregate_flat());
+      model_lineage_[static_cast<size_t>(i)] = store_.aggregate_lineage();
     }
     participating_.assign(static_cast<size_t>(k), true);
     available_.assign(static_cast<size_t>(k), true);
@@ -166,6 +168,9 @@ void Trainer::ResampleParticipants() {
 
 void Trainer::BeginRound(int64_t round) {
   if (round == cohort_round_) return;
+  // The epoch this round boundary executes in (BeginRound only runs on
+  // boundary epochs) — the stamp for everything journaled below.
+  const int epoch = static_cast<int>(round) * config_.agg_period + 1;
   // Retire the previous cohort. After a pre-chaos snapshot restore the list
   // is gone — recompute it (the sampler is stateless, so this is the same
   // list); chaos-era snapshots (v4) restore cohort_ directly.
@@ -191,7 +196,9 @@ void Trainer::BeginRound(int64_t round) {
       auto& dist = model_distributions_[static_cast<size_t>(i)];
       std::fill(dist.begin(), dist.end(), 0.0);
       model_samples_[static_cast<size_t>(i)] = 0.0;
+      model_lineage_[static_cast<size_t>(i)] = 0;
       CountChurnDeparture(&chaos_counters_);
+      if (journal_ != nullptr) journal_->ClientDeparted(epoch, i);
     }
   }
   // Effective roster: the (seed, round)-pure sample minus churned-out
@@ -204,6 +211,7 @@ void Trainer::BeginRound(int64_t round) {
   for (int i : sampled) {
     if (churning && faults_.ChurnedOut(i, round)) {
       CountChurnAbsence(&chaos_counters_);
+      if (journal_ != nullptr) journal_->ChurnAbsence(epoch, i);
       continue;
     }
     cohort_.push_back(i);
@@ -223,6 +231,7 @@ void Trainer::BeginRound(int64_t round) {
       carried.push_back(i);
       cohort_.push_back(i);
       CountCarryoverClient(&chaos_counters_);
+      if (journal_ != nullptr) journal_->ClientCarriedOver(epoch, i);
     }
     std::inplace_merge(cohort_.begin(),
                        cohort_.begin() + static_cast<long>(sampled_n),
@@ -230,6 +239,10 @@ void Trainer::BeginRound(int64_t round) {
   }
   carryover_.clear();
   cohort_round_ = round;
+  if (journal_ != nullptr) {
+    journal_->CohortSampled(epoch, static_cast<int>(cohort_.size()),
+                            static_cast<int>(carried.size()));
+  }
 
   // Cohort-mode Model Distribution: the aggregate travels only to members
   // that do not already hold the current block (a re-sampled client that
@@ -263,6 +276,10 @@ void Trainer::BeginRound(int64_t round) {
     auto& dist = model_distributions_[static_cast<size_t>(i)];
     std::fill(dist.begin(), dist.end(), 0.0);
     model_samples_[static_cast<size_t>(i)] = 0.0;
+    model_lineage_[static_cast<size_t>(i)] = store_.aggregate_lineage();
+    if (journal_ != nullptr) {
+      journal_->ModelDistributed(epoch, i, store_.aggregate_lineage());
+    }
   }
   budget_.ConsumeTime(download_seconds);
 }
@@ -299,7 +316,7 @@ void Trainer::ApplyDp(nn::Sequential* model) {
   dp::PrivatizeModel(config_.dp, model, &rng_);
 }
 
-double Trainer::LocalUpdatePhase(double* phase_seconds) {
+double Trainer::LocalUpdatePhase(int epoch, double* phase_seconds) {
   FEDMIGR_TRACE_SCOPE("fl/local_update");
   const std::vector<int>& active = active_clients();
   const int n = static_cast<int>(active.size());
@@ -329,6 +346,13 @@ double Trainer::LocalUpdatePhase(double* phase_seconds) {
     const double samples = static_cast<double>(client.num_samples());
     loss_weighted += res.mean_loss * samples;
     total_samples += samples;
+    // Journaled from this serial reduction (never the ParallelFor above),
+    // so the event order is independent of the pool width.
+    if (journal_ != nullptr) {
+      journal_->ClientParticipated(epoch, i, topology_.lan_of(i),
+                                   model_lineage_[static_cast<size_t>(i)],
+                                   res.mean_loss);
+    }
     budget_.ConsumeCompute(static_cast<double>(res.samples_processed));
     slowest = std::max(
         slowest, net::ComputeSeconds(devices_[static_cast<size_t>(i)],
@@ -366,7 +390,7 @@ double Trainer::LocalUpdatePhase(double* phase_seconds) {
   return total_samples > 0.0 ? loss_weighted / total_samples : 0.0;
 }
 
-Evaluation Trainer::AggregationPhase(bool evaluate) {
+Evaluation Trainer::AggregationPhase(int epoch, bool evaluate) {
   FEDMIGR_TRACE_SCOPE("fl/aggregate");
   const int k = num_clients();
   const bool faulty = faults_.enabled();
@@ -391,6 +415,11 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
       // Quarantined: the server refuses the upload outright — no transfer,
       // no traffic, no seat in the aggregate.
       CountQuarantineExcluded(&robust_counters_);
+      if (journal_ != nullptr) {
+        journal_->ClientUploaded(epoch, i,
+                                 obs::UploadStatus::kExcludedQuarantined,
+                                 model_lineage_[static_cast<size_t>(i)]);
+      }
       continue;
     }
     Client& client = MaterializedClient(i);
@@ -408,13 +437,26 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
     if (faulty && arrival > upload_deadline) {
       // The server stopped waiting; the bytes are spent anyway.
       faults_.CountDroppedStraggler();
+      if (journal_ != nullptr) {
+        journal_->ClientUploaded(epoch, i,
+                                 obs::UploadStatus::kDroppedStraggler,
+                                 model_lineage_[static_cast<size_t>(i)]);
+      }
       continue;
     }
     if (res.corrupted && CorruptedPayloadRejected(client.model())) {
       faults_.CountCorruptRejected();
+      if (journal_ != nullptr) {
+        journal_->ClientUploaded(epoch, i, obs::UploadStatus::kDroppedCorrupt,
+                                 model_lineage_[static_cast<size_t>(i)]);
+      }
       continue;
     }
     arrived[static_cast<size_t>(i)] = true;
+    if (journal_ != nullptr) {
+      journal_->ClientUploaded(epoch, i, obs::UploadStatus::kArrived,
+                               model_lineage_[static_cast<size_t>(i)]);
+    }
   }
   if (faulty && upload_seconds > upload_deadline) {
     upload_seconds = upload_deadline;
@@ -437,8 +479,15 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
         expected == 0 ||
         static_cast<double>(arrived_count) + 1e-12 >=
             config_.quorum_fraction * static_cast<double>(expected);
+    // The commit threshold with the same tolerance the verdict uses.
+    const int required = static_cast<int>(
+        std::ceil(config_.quorum_fraction * static_cast<double>(expected) -
+                  1e-12));
     if (!quorum_met) {
       CountQuorumMiss(&chaos_counters_);
+      if (journal_ != nullptr) {
+        journal_->QuorumMiss(epoch, arrived_count, required);
+      }
       if (cohort_mode()) {
         carryover_.clear();
         for (int i : active) {
@@ -454,6 +503,9 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
       return eval;
     }
     CountQuorumCommit(&chaos_counters_);
+    if (journal_ != nullptr) {
+      journal_->QuorumCommit(epoch, arrived_count, required);
+    }
   }
 
   std::vector<const nn::Sequential*> models;
@@ -486,10 +538,23 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
       } else {
         reputation_.ReportClean(uploaders[u]);
       }
+      if (journal_ != nullptr) {
+        journal_->ScreenVerdict(epoch, uploaders[u], verdicts[u].flagged());
+      }
     }
     if (!kept_models.empty()) server_->Aggregate(kept_models, kept_weights);
   }
   reputation_.AdvanceRound(&robust_counters_);
+  // Drain the reputation machine's transition log every round (not just
+  // when journaling) so it never accumulates across rounds.
+  for (const ReputationTracker::Transition& t :
+       reputation_.DrainTransitions()) {
+    if (journal_ != nullptr) {
+      journal_->QuarantineTransition(epoch, t.client,
+                                     static_cast<int>(t.from),
+                                     static_cast<int>(t.to));
+    }
+  }
   Evaluation eval;
   if (evaluate) {
     FEDMIGR_TRACE_SCOPE("fl/evaluate");
@@ -499,6 +564,10 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
   // Publish the (possibly refreshed) aggregate into the CoW store: one deep
   // copy + one flatten per aggregation, shared by every alias.
   store_.Publish(server_->global_model());
+  if (journal_ != nullptr) {
+    journal_->ModelPublished(epoch, store_.aggregate_lineage(),
+                             store_.parent_lineage());
+  }
 
   if (cohort_mode()) {
     // Distribution is deferred to the next round's BeginRound sync — only
@@ -530,6 +599,10 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
     client.SetModel(store_.aggregate());
     client.SetProximalReference(store_.aggregate_flat());
     refreshed[static_cast<size_t>(i)] = true;
+    model_lineage_[static_cast<size_t>(i)] = store_.aggregate_lineage();
+    if (journal_ != nullptr) {
+      journal_->ModelDistributed(epoch, i, store_.aggregate_lineage());
+    }
   }
   budget_.ConsumeTime(upload_seconds + download_seconds);
 
@@ -544,7 +617,7 @@ Evaluation Trainer::AggregationPhase(bool evaluate) {
   return eval;
 }
 
-int Trainer::ApplyMigrationMoves(const MigrationPlan& plan,
+int Trainer::ApplyMigrationMoves(int epoch, const MigrationPlan& plan,
                                  const MigrationExecution& exec,
                                  const std::vector<int>* node_ids) {
   // Two-phase capture/install so every move is atomic under faults. Phase 1
@@ -566,6 +639,7 @@ int Trainer::ApplyMigrationMoves(const MigrationPlan& plan,
     ModelRef model;
     std::vector<double> dist;
     double samples = 0.0;
+    int64_t lineage = 0;  // captured pre-move, like the payload itself
   };
   std::vector<Move> moves;
   const int n = static_cast<int>(plan.incoming.size());
@@ -587,6 +661,7 @@ int Trainer::ApplyMigrationMoves(const MigrationPlan& plan,
     move.model = source.share_model();
     move.dist = model_distributions_[static_cast<size_t>(src)];
     move.samples = model_samples_[static_cast<size_t>(src)];
+    move.lineage = model_lineage_[static_cast<size_t>(src)];
     moves.push_back(std::move(move));
     CountMigrationPlanned(&chaos_counters_);
   }
@@ -597,11 +672,19 @@ int Trainer::ApplyMigrationMoves(const MigrationPlan& plan,
       model_distributions_[static_cast<size_t>(move.dst)] =
           std::move(move.dist);
       model_samples_[static_cast<size_t>(move.dst)] = move.samples;
+      model_lineage_[static_cast<size_t>(move.dst)] = move.lineage;
       ++installed;
       if (move.fallback) {
         CountMigrationFallback(&chaos_counters_);
       } else {
         CountMigrationCompleted(&chaos_counters_);
+      }
+      if (journal_ != nullptr) {
+        journal_->MigrationHop(epoch, move.src, move.dst,
+                               move.fallback
+                                   ? obs::MigrationRoute::kServerFallback
+                                   : obs::MigrationRoute::kC2C,
+                               move.lineage);
       }
     } else {
       // Roll back: drop the captured ref, then re-promote the source (a
@@ -610,6 +693,11 @@ int Trainer::ApplyMigrationMoves(const MigrationPlan& plan,
       move.model = nullptr;
       MaterializedClient(move.src).ReclaimModel();
       CountMigrationRolledBack(&chaos_counters_);
+      if (journal_ != nullptr) {
+        journal_->MigrationHop(epoch, move.src, move.dst,
+                               obs::MigrationRoute::kRolledBack,
+                               move.lineage);
+      }
     }
   }
   // The atomicity invariant: every planned source either shipped its block
@@ -686,7 +774,7 @@ int Trainer::MigrationPhase(int epoch, double loss) {
 
   // Move the replicas (and their provenance) according to the plan; a
   // failed move degrades gracefully — the destination keeps its model.
-  return ApplyMigrationMoves(plan, exec, /*node_ids=*/nullptr);
+  return ApplyMigrationMoves(epoch, plan, exec, /*node_ids=*/nullptr);
 }
 
 int Trainer::CohortMigrationPhase(int epoch, double loss) {
@@ -770,7 +858,7 @@ int Trainer::CohortMigrationPhase(int epoch, double loss) {
     }
   }
 
-  return ApplyMigrationMoves(plan, exec, &cohort_);
+  return ApplyMigrationMoves(epoch, plan, exec, &cohort_);
 }
 
 Evaluation Trainer::VirtualEvaluation() {
@@ -798,6 +886,22 @@ RunResult Trainer::Run() {
   result_.scheme = config_.scheme_name;
   result_.interrupted = false;
 
+  // Checked live at each use below (not latched): the epoch hook may
+  // install or detach the journal between epochs — the overhead harness in
+  // bench_telemetry toggles it per epoch, exactly like obs::Telemetry.
+  if (journal_ != nullptr) {
+    FEDMIGR_CHECK(journal_->attached())
+        << "journal must be Attach()ed before Run()";
+    if (!journal_->header_written()) {
+      obs::JournalHeader header;
+      header.run_seed = config_.seed;
+      header.num_clients = num_clients();
+      header.cohort_size = config_.cohort_size;
+      header.scheme = config_.scheme_name;
+      journal_->BeginRun(header);
+    }
+  }
+
   for (int epoch = progress_.next_epoch;
        !progress_.done && epoch <= config_.max_epochs; ++epoch) {
     FEDMIGR_TRACE_SCOPE("fl/epoch");
@@ -809,6 +913,23 @@ RunResult Trainer::Run() {
     // here — before BeginRound, so a partition can refuse the round's
     // aggregate downloads.
     faults_.BeginEpoch(num_clients());
+
+    // Chaos window edges: the injector's schedule is pure in the epoch, so
+    // an edge is simply this epoch's sealed/down state differing from the
+    // previous epoch's — the same comparison on a fresh and a resumed run.
+    if (journal_ != nullptr && (config_.fault.chaos.has_partitions() ||
+                                config_.fault.chaos.has_outages())) {
+      for (int lan = 0; lan < topology_.num_lans(); ++lan) {
+        const bool sealed = faults_.LanSealed(lan, epoch);
+        const bool was_sealed = epoch > 1 && faults_.LanSealed(lan, epoch - 1);
+        if (sealed && !was_sealed) journal_->ChaosLanSealed(epoch, lan);
+        if (!sealed && was_sealed) journal_->ChaosLanOpened(epoch, lan);
+      }
+      const bool down = faults_.ServerDown(epoch);
+      const bool was_down = epoch > 1 && faults_.ServerDown(epoch - 1);
+      if (down && !was_down) journal_->ChaosServerDown(epoch);
+      if (!down && was_down) journal_->ChaosServerUp(epoch);
+    }
 
     // A new global iteration starts right after each aggregation.
     if (cohort_mode()) {
@@ -837,12 +958,24 @@ RunResult Trainer::Run() {
     }
     RollAvailability();
 
+    if (journal_ != nullptr) {
+      int available_count = 0;
+      for (int i : active_clients()) {
+        if (available_[static_cast<size_t>(i)]) ++available_count;
+      }
+      journal_->RoundBegin(epoch, static_cast<int>(active_clients().size()),
+                           available_count, store_.aggregate_lineage());
+    }
+    // A publish this epoch moves the store's lineage head; comparing after
+    // the phases tells the round-commit event whether one happened.
+    const int64_t lineage_before = store_.aggregate_lineage();
+
     double compute_before = budget_.compute_used();
     double bandwidth_before = budget_.bandwidth_used();
     const double sim_epoch_start = budget_.time_used();
 
     double phase_seconds = 0.0;
-    record.train_loss = LocalUpdatePhase(&phase_seconds);
+    record.train_loss = LocalUpdatePhase(epoch, &phase_seconds);
     const double sim_after_update = budget_.time_used();
 
     const bool aggregate_now = (epoch % config_.agg_period == 0) ||
@@ -851,7 +984,7 @@ RunResult Trainer::Run() {
         config_.eval_every > 0 && (epoch % config_.eval_every == 0 ||
                                    epoch == config_.max_epochs);
     if (aggregate_now) {
-      const Evaluation eval = AggregationPhase(evaluate_now);
+      const Evaluation eval = AggregationPhase(epoch, evaluate_now);
       if (evaluate_now) {
         progress_.last_accuracy = eval.accuracy;
         progress_.last_test_loss = eval.loss;
@@ -953,10 +1086,37 @@ RunResult Trainer::Run() {
       progress_.done = true;
     }
 
+    // Flush the epoch's events as one frame BEFORE the hook: a snapshot
+    // taken there resumes at epoch + 1, and Attach(epoch) keeps exactly the
+    // chunks committed so far — kill-anywhere resume replays to a
+    // byte-equal journal.
+    if (journal_ != nullptr) {
+      int participated = 0;
+      for (int i : active_clients()) {
+        if (participating_[static_cast<size_t>(i)]) ++participated;
+      }
+      journal_->RoundCommitted(epoch, participated,
+                               store_.aggregate_lineage() != lineage_before,
+                               store_.aggregate_lineage(), record.train_loss);
+      const util::Status committed = journal_->CommitEpoch(epoch);
+      FEDMIGR_CHECK(committed.ok())
+          << "journal commit failed: " << committed.message();
+    }
+
     if (epoch_hook_ && !epoch_hook_(*this, epoch) && !progress_.done) {
       result_.interrupted = true;
       break;
     }
+  }
+
+  if (journal_ != nullptr) {
+    // Clean completion seals the journal with the summary chunk; an
+    // interrupted run only syncs — the resumed run appends the rest.
+    const util::Status sealed =
+        progress_.done && !result_.interrupted ? journal_->EndRun()
+                                               : journal_->Finish();
+    FEDMIGR_CHECK(sealed.ok())
+        << "journal finalize failed: " << sealed.message();
   }
 
   result_.final_accuracy = progress_.last_accuracy;
@@ -998,7 +1158,11 @@ namespace {
 //     partition/outage counters; chaos counters, the effective cohort (no
 //     longer pure in (seed, round) once churn and carryover apply) and the
 //     quorum carryover list are appended after the reputation state.
-constexpr uint32_t kTrainerStateVersion = 4;
+// v5: flight-recorder lineage — the per-slot lineage ids and the model
+//     store's mint state (next id, aggregate, parent) are appended after
+//     the chaos block, so a resumed run keeps emitting the same causal
+//     edges the uninterrupted run would have.
+constexpr uint32_t kTrainerStateVersion = 5;
 
 // Order-sensitive splitmix64 fold of the chaos schedule: two trainers agree
 // on this iff they would replay the same partition/outage/churn timeline,
@@ -1140,6 +1304,15 @@ void Trainer::SaveState(util::ByteWriter* writer) const {
   writer->WriteI32Vector(cohort_);
   writer->WriteI64(cohort_round_);
   writer->WriteI32Vector(carryover_);
+
+  // v5: lineage state for the flight recorder.
+  writer->WriteU64(model_lineage_.size());
+  for (int64_t lineage : model_lineage_) {
+    writer->WriteI64(lineage);
+  }
+  writer->WriteI64(store_.next_lineage_id());
+  writer->WriteI64(store_.aggregate_lineage());
+  writer->WriteI64(store_.parent_lineage());
 }
 
 util::Status Trainer::LoadState(util::ByteReader* reader) {
@@ -1308,6 +1481,27 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
         "snapshot carries a cohort but this trainer runs legacy mode");
   }
 
+  // v5: lineage state.
+  uint64_t lineage_count = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadU64(&lineage_count));
+  if (lineage_count != static_cast<uint64_t>(num_clients())) {
+    return util::Status::InvalidArgument("snapshot lineage count mismatch");
+  }
+  std::vector<int64_t> lineage(static_cast<size_t>(lineage_count));
+  for (int64_t& id : lineage) {
+    FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&id));
+  }
+  int64_t next_lineage_id = 0;
+  int64_t aggregate_lineage = 0;
+  int64_t parent_lineage = 0;
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&next_lineage_id));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&aggregate_lineage));
+  FEDMIGR_RETURN_IF_ERROR(reader->ReadI64(&parent_lineage));
+  if (next_lineage_id < 1 || aggregate_lineage >= next_lineage_id ||
+      parent_lineage >= next_lineage_id) {
+    return util::Status::InvalidArgument("snapshot lineage ids inconsistent");
+  }
+
   progress_ = progress;
   result_ = std::move(result);
   rng_ = rng;
@@ -1331,6 +1525,11 @@ util::Status Trainer::LoadState(util::ByteReader* reader) {
   cohort_ = std::move(cohort);
   cohort_round_ = cohort_round;
   carryover_ = std::move(carryover);
+  // The re-publish above minted a throwaway id; restore the mint counter
+  // and the aggregate/parent heads the snapshot recorded so the next
+  // publish continues the same id sequence.
+  model_lineage_ = std::move(lineage);
+  store_.RestoreLineage(next_lineage_id, aggregate_lineage, parent_lineage);
   return util::Status::Ok();
 }
 

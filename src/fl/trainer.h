@@ -37,6 +37,7 @@
 #include "net/fault.h"
 #include "net/topology.h"
 #include "net/traffic.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "util/serial.h"
 #include "util/thread_pool.h"
@@ -200,6 +201,21 @@ class Trainer {
   using EpochHook = std::function<bool(const Trainer&, int epoch)>;
   void SetEpochHook(EpochHook hook) { epoch_hook_ = std::move(hook); }
 
+  // Attaches the flight recorder (obs/journal.h). Non-owning; the journal
+  // must be Attach()ed and outlive Run(). Events are emitted only from the
+  // serial sections of the loop and committed once per epoch, so the
+  // journal is byte-identical across thread counts and kill/resume. May be
+  // installed or detached from the epoch hook (epochs recorded while
+  // detached simply have no chunk) — the bench_telemetry overhead harness
+  // toggles it per epoch.
+  void SetJournal(obs::Journal* journal) { journal_ = journal; }
+
+  // Per-client lineage id (the publish the client's model descends from;
+  // 0 = pre-publish). Exposed for the lineage tests.
+  int64_t model_lineage(int client) const {
+    return model_lineage_[static_cast<size_t>(client)];
+  }
+
   // First epoch the next Run() call would execute (1-based; max_epochs + 1
   // once the run is complete).
   int next_epoch() const { return progress_.next_epoch; }
@@ -217,11 +233,11 @@ class Trainer {
  private:
   // One Local Updating phase across the active clients; returns weighted
   // mean loss and advances time/compute budgets.
-  double LocalUpdatePhase(double* phase_seconds);
+  double LocalUpdatePhase(int epoch, double* phase_seconds);
   // Uploads, aggregates, redistributes; evaluates only when `evaluate` is
   // set (evaluation is measurement, not simulation, and is the dominant
   // cost for schemes that aggregate every epoch).
-  Evaluation AggregationPhase(bool evaluate);
+  Evaluation AggregationPhase(int epoch, bool evaluate);
   // Plans and executes one migration round; returns number of moves.
   int MigrationPhase(int epoch, double loss);
   // Cohort-local migration: plans over the C active clients against a
@@ -250,7 +266,7 @@ class Trainer {
   // aggregate to them (the cohort-mode Model Distribution).
   void BeginRound(int64_t round);
   // Applies the CoW model moves shared by both migration paths.
-  int ApplyMigrationMoves(const MigrationPlan& plan,
+  int ApplyMigrationMoves(int epoch, const MigrationPlan& plan,
                           const MigrationExecution& exec,
                           const std::vector<int>* node_ids);
 
@@ -292,6 +308,11 @@ class Trainer {
   // has accumulated since the last aggregation, and its sample weight.
   std::vector<std::vector<double>> model_distributions_;
   std::vector<double> model_samples_;
+  // Per-slot lineage: the ModelStore publish id client i's resident model
+  // descends from (0 until the first distribution). Minted only in serial
+  // code (ModelStore::Publish), inherited by CoW clones, moved by
+  // migrations — the causal edge stream the flight recorder emits.
+  std::vector<int64_t> model_lineage_;
 
   // Participation state: the α-sample for the current global iteration and
   // this epoch's availability (participation minus dropouts). `eligible_`
@@ -324,6 +345,10 @@ class Trainer {
   RunProgress progress_;
   RunResult result_;
   EpochHook epoch_hook_;  // SNAPSHOT-SKIP(caller-installed callback)
+  // The journal's durability is its own frame-per-epoch append plus the
+  // resume-time truncation — nothing of it rides in the snapshot.
+  // SNAPSHOT-SKIP(caller-attached recorder with its own durability)
+  obs::Journal* journal_ = nullptr;
 };
 
 }  // namespace fedmigr::fl

@@ -191,6 +191,7 @@ std::string MetricsSnapshot::ToJson() const {
     out += ", \"mean\": " + FormatDouble(h.mean());
     out += ", \"p50\": " + FormatDouble(h.Percentile(50.0));
     out += ", \"p90\": " + FormatDouble(h.Percentile(90.0));
+    out += ", \"p95\": " + FormatDouble(h.Percentile(95.0));
     out += ", \"p99\": " + FormatDouble(h.Percentile(99.0));
     out += ", \"bounds\": [";
     for (size_t b = 0; b < h.bounds.size(); ++b) {
@@ -224,6 +225,8 @@ std::string MetricsSnapshot::ToCsv() const {
     out += "histogram_p50," + h.name + "," + FormatDouble(h.Percentile(50.0)) +
            "\n";
     out += "histogram_p90," + h.name + "," + FormatDouble(h.Percentile(90.0)) +
+           "\n";
+    out += "histogram_p95," + h.name + "," + FormatDouble(h.Percentile(95.0)) +
            "\n";
     out += "histogram_p99," + h.name + "," + FormatDouble(h.Percentile(99.0)) +
            "\n";

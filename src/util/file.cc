@@ -109,6 +109,113 @@ Status MakeDirectories(const std::string& path) {
   return Status::Ok();
 }
 
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), size_(other.size_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.size_ = 0;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Status AppendFile::Open(const std::string& path) {
+  if (fd_ >= 0) {
+    return Status::Internal("AppendFile already open: " + path_);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("open", path);
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return ErrnoStatus("lseek", path);
+  }
+  fd_ = fd;
+  size_ = static_cast<uint64_t>(end);
+  path_ = path;
+  return Status::Ok();
+}
+
+Status AppendFile::Append(const void* data, size_t size) {
+  if (fd_ < 0) {
+    return Status::Internal("AppendFile not open");
+  }
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd_, bytes + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  size_ += written;
+  return Status::Ok();
+}
+
+Status AppendFile::Append(const std::vector<uint8_t>& data) {
+  return Append(data.data(), data.size());
+}
+
+Status AppendFile::Truncate(uint64_t new_size) {
+  if (fd_ < 0) {
+    return Status::Internal("AppendFile not open");
+  }
+  if (new_size > size_) {
+    return Status::InvalidArgument("Truncate would grow " + path_);
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return ErrnoStatus("ftruncate", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(new_size), SEEK_SET) < 0) {
+    return ErrnoStatus("lseek", path_);
+  }
+  size_ = new_size;
+  return Status::Ok();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) {
+    return Status::Internal("AppendFile not open");
+  }
+  if (::fsync(fd_) != 0) {
+    return ErrnoStatus("fsync", path_);
+  }
+  return Status::Ok();
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) {
+    return Status::Ok();
+  }
+  const int fd = fd_;
+  fd_ = -1;
+  size_ = 0;
+  if (::close(fd) != 0) {
+    return ErrnoStatus("close", path_);
+  }
+  return Status::Ok();
+}
+
 Result<std::vector<std::string>> ListDirectory(const std::string& dir) {
   std::error_code ec;
   std::filesystem::directory_iterator it(dir, ec);

@@ -163,11 +163,15 @@ TEST(MetricsSnapshotTest, PercentilesInterpolate) {
   EXPECT_EQ(sample->count, 100);
   EXPECT_DOUBLE_EQ(sample->mean(), 1.5);
   // Every estimate stays inside the populated bucket's range.
-  for (double p : {1.0, 50.0, 90.0, 99.0, 100.0}) {
+  for (double p : {1.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
     const double est = sample->Percentile(p);
     EXPECT_GE(est, 1.0) << "p=" << p;
     EXPECT_LE(est, 2.0) << "p=" << p;
   }
+  // The snapshot columns are monotone by construction.
+  EXPECT_LE(sample->Percentile(50.0), sample->Percentile(90.0));
+  EXPECT_LE(sample->Percentile(90.0), sample->Percentile(95.0));
+  EXPECT_LE(sample->Percentile(95.0), sample->Percentile(99.0));
   // Empty sample -> 0.
   MetricsSnapshot::HistogramSample empty;
   EXPECT_EQ(empty.Percentile(50.0), 0.0);
@@ -185,12 +189,14 @@ TEST(MetricsSnapshotTest, JsonAndCsvContainAllSeries) {
   EXPECT_NE(json.find("\"g/loss\": 0.5"), std::string::npos);
   EXPECT_NE(json.find("\"h/ms\""), std::string::npos);
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
 
   const std::string csv = snap.ToCsv();
   EXPECT_EQ(csv.rfind("kind,name,value\n", 0), 0u);
   EXPECT_NE(csv.find("counter,c/events,7\n"), std::string::npos);
   EXPECT_NE(csv.find("gauge,g/loss,0.5\n"), std::string::npos);
   EXPECT_NE(csv.find("histogram_count,h/ms,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram_p95,h/ms,"), std::string::npos);
 }
 
 TEST(TelemetryTest, RuntimeToggleRoundTrips) {

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""check_trace — structural validator for FedMigr Chrome-trace exports.
+"""check_trace — structural validator for FedMigr telemetry exports.
 
-Checks that a file produced by `--trace-out` (obs::TraceRecorder::
-WriteChromeJson) actually loads in a trace viewer:
+Chrome traces (from `--trace-out`, obs::TraceRecorder::WriteChromeJson)
+must actually load in a trace viewer:
 
   * parses as JSON with a top-level "traceEvents" list;
   * every event carries ph/pid/tid, and every non-metadata event a numeric
@@ -12,14 +12,61 @@ WriteChromeJson) actually loads in a trace viewer:
   * "B" and "E" events pair up: every "E" closes an open "B" on its track
     and no track ends with an open span;
   * metadata names the two clock domains (pid 1 wall clock, pid 2
-    simulated time) when events reference them.
+    simulated time) when events reference them;
+  * counter tracks ("C", e.g. tools/fedmigr_report's journal counters)
+    carry a name and numeric series values.
 
-Usage: tools/check_trace.py TRACE.json [TRACE2.json ...]
+Metrics snapshots (from `--metrics-out`, obs::MetricsSnapshot::ToJson)
+are detected by their top-level "counters"/"gauges"/"histograms" shape:
+
+  * every histogram carries count/sum/mean and the p50/p90/p95/p99
+    percentile columns;
+  * percentiles are monotone: p50 <= p90 <= p95 <= p99;
+  * the per-bucket counts sum to the sample count.
+
+Usage: tools/check_trace.py FILE.json [FILE2.json ...]
 Exits 0 when every file validates, 1 otherwise.
 """
 
 import json
 import sys
+
+PERCENTILE_KEYS = ("p50", "p90", "p95", "p99")
+
+
+def validate_metrics(path, doc):
+    errors = []
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            errors.append("%s: metrics section %r is missing" % (path, section))
+    histograms = doc.get("histograms")
+    if not isinstance(histograms, dict):
+        return errors
+    for name, hist in sorted(histograms.items()):
+        where = "%s: histogram %r" % (path, name)
+        if not isinstance(hist, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        for key in ("count", "sum", "mean", "bounds", "counts") + \
+                PERCENTILE_KEYS:
+            if key not in hist:
+                errors.append("%s: missing %r" % (where, key))
+        percentiles = [hist.get(key) for key in PERCENTILE_KEYS]
+        if all(isinstance(p, (int, float)) for p in percentiles):
+            for lo, hi, lo_v, hi_v in zip(
+                    PERCENTILE_KEYS, PERCENTILE_KEYS[1:],
+                    percentiles, percentiles[1:]):
+                if lo_v > hi_v:
+                    errors.append(
+                        "%s: %s=%s exceeds %s=%s (percentiles must be "
+                        "monotone)" % (where, lo, lo_v, hi, hi_v))
+        counts = hist.get("counts")
+        if isinstance(counts, list) and isinstance(hist.get("count"), int):
+            if sum(counts) != hist["count"]:
+                errors.append(
+                    "%s: bucket counts sum to %s but count is %s"
+                    % (where, sum(counts), hist["count"]))
+    return errors
 
 
 def validate(path):
@@ -29,6 +76,10 @@ def validate(path):
             doc = json.load(f)
     except (OSError, ValueError) as e:
         return ["%s: does not parse as JSON: %s" % (path, e)]
+
+    if isinstance(doc, dict) and "traceEvents" not in doc and \
+            "histograms" in doc:
+        return validate_metrics(path, doc)
 
     events = doc.get("traceEvents")
     if not isinstance(events, list):
@@ -43,7 +94,7 @@ def validate(path):
             errors.append("%s: event is not an object" % where)
             continue
         ph = event.get("ph")
-        if ph not in ("B", "E", "i", "M", "X"):
+        if ph not in ("B", "E", "i", "M", "X", "C"):
             errors.append("%s: unknown phase %r" % (where, ph))
             continue
         if "pid" not in event or "tid" not in event:
@@ -63,7 +114,19 @@ def validate(path):
                 "%s: ts %s goes backwards on track pid=%s tid=%s (last %s)"
                 % (where, ts, track[0], track[1], last_ts[track]))
         last_ts[track] = ts
-        if ph == "B":
+        if ph == "C":
+            # Counter samples (fedmigr_report's journal tracks): a name and
+            # numeric series values are what the viewer plots.
+            if not event.get("name"):
+                errors.append("%s: 'C' event without a name" % where)
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append("%s: 'C' event without args" % where)
+            elif not all(isinstance(v, (int, float))
+                         for v in args.values()):
+                errors.append("%s: 'C' event with non-numeric series"
+                              % where)
+        elif ph == "B":
             if not event.get("name"):
                 errors.append("%s: 'B' event without a name" % where)
             open_spans[track] = open_spans.get(track, 0) + 1

@@ -130,6 +130,19 @@ void EagerModelAllocations() {
   (void)fleet;
 }
 
+// --- journal-emit ----------------------------------------------------------
+
+void ForgesJournalRecords(fedmigr::util::ByteWriter* writer,
+                          std::vector<fedmigr::obs::JournalEvent>* queue) {
+  obs::JournalEvent raw;  // LINT-EXPECT: journal-emit
+  raw.kind = 14;
+  obs::WriteJournalEvent(raw, writer);  // LINT-EXPECT: journal-emit
+  queue->push_back(obs::JournalEvent{21, 0, 0, 0, 0, 0, 0.0});  // LINT-EXPECT: journal-emit
+  std::vector<unsigned char> payload;
+  const auto framed = obs::FrameJournalChunk(payload);  // LINT-EXPECT: journal-emit
+  (void)framed;
+}
+
 // --- discarded-status ------------------------------------------------------
 
 void DropsStatuses(const std::string& path) {
